@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: server→mobile write-back compression on vs off (paper
+ * Sec. 4 applies compression only in that direction). Reports wire
+ * bytes and whole-program time on the slow network, where bandwidth
+ * matters most.
+ */
+#include <cstdio>
+
+#include "bench/benchlib.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+using namespace nol::bench;
+
+int
+main()
+{
+    std::printf("=== Ablation: write-back compression (802.11n) ===\n\n");
+
+    std::vector<std::string> ids = {"401.bzip2", "429.mcf", "458.sjeng",
+                                    "470.lbm"};
+    TextTable table;
+    table.header({"Program", "on: time", "off: time", "on: wire MB",
+                  "off: wire MB", "wire saved"});
+    for (const std::string &id : ids) {
+        const workloads::WorkloadSpec *spec = workloads::workloadById(id);
+        core::Program prog = compileWorkload(*spec);
+
+        runtime::SystemConfig on;
+        on.network = net::makeWifi80211n();
+        on.memScale = spec->memScale;
+        runtime::RunReport with = runConfig(prog, *spec, on);
+
+        runtime::SystemConfig off_cfg = on;
+        off_cfg.compressionEnabled = false;
+        runtime::RunReport without = runConfig(prog, *spec, off_cfg);
+
+        double on_mb = with.wireBytes * spec->memScale / 1e6;
+        double off_mb = without.wireBytes * spec->memScale / 1e6;
+        table.row({id, fixed(with.mobileSeconds, 1) + "s",
+                   fixed(without.mobileSeconds, 1) + "s", fixed(on_mb, 1),
+                   fixed(off_mb, 1),
+                   off_mb > 0
+                       ? fixed((1 - on_mb / off_mb) * 100, 1) + "%"
+                       : "-"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: dynamic runtime decision vs static-only offloading (paper
+ * Sec. 4: "the dynamic performance estimation allows Native Offloader
+ * not to suffer from performance slowdown in an unexpected slow
+ * network environment"). Sweeps the network bandwidth downward and
+ * shows the dynamic estimator cutting over to local execution while
+ * static-only offloading degrades without bound.
+ */
+#include <cstdio>
+
+#include "bench/benchlib.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+using namespace nol::bench;
+
+int
+main()
+{
+    std::printf("=== Ablation: dynamic vs static-only offload decision "
+                "(164.gzip) ===\n\n");
+
+    const workloads::WorkloadSpec *spec = workloads::workloadById("164.gzip");
+    core::Program prog = compileWorkload(*spec);
+
+    runtime::SystemConfig local_cfg;
+    local_cfg.forceLocal = true;
+    local_cfg.memScale = spec->memScale;
+    runtime::RunReport local = runConfig(prog, *spec, local_cfg);
+    std::printf("local baseline: %.1f s\n\n", local.mobileSeconds);
+
+    TextTable table;
+    table.header({"Bandwidth", "dynamic: time", "offloaded?",
+                  "static-only: time", "dyn vs local"});
+    for (double mbps : {844.0, 433.0, 144.0, 72.0, 36.0}) {
+        runtime::SystemConfig dyn_cfg;
+        dyn_cfg.network = net::makeWifi80211ac();
+        dyn_cfg.network.bandwidthMbps = mbps;
+        dyn_cfg.memScale = spec->memScale;
+        runtime::RunReport dyn = runConfig(prog, *spec, dyn_cfg);
+
+        runtime::SystemConfig static_cfg = dyn_cfg;
+        static_cfg.dynamicDecision = false;
+        runtime::RunReport stat = runConfig(prog, *spec, static_cfg);
+
+        table.row({fixed(mbps, 0) + " Mbps",
+                   fixed(dyn.mobileSeconds, 1) + "s",
+                   dyn.offloads > 0 ? "yes" : "no (local)",
+                   fixed(stat.mobileSeconds, 1) + "s",
+                   fixed(dyn.mobileSeconds / local.mobileSeconds, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expectation: below the crossover the dynamic runtime "
+                "pins time near\nthe local baseline while static-only "
+                "offloading keeps degrading.\n");
+    return 0;
+}

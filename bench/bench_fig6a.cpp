@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates Fig. 6(a): whole-program execution time under slow
+ * (802.11n), fast (802.11ac) and ideal offloading, normalized to local
+ * execution on the smartphone. `*` marks programs the dynamic
+ * estimator refused to offload (the paper's 164.gzip on 802.11n).
+ * Headline geomeans in the paper: 82.0% (slow) and 84.4% (fast) time
+ * reduction — i.e. normalized 0.180 and 0.156, speedup 6.42x fast.
+ */
+#include <cstdio>
+
+#include "bench/benchlib.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+using namespace nol::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 6(a): normalized whole-program execution time "
+                "===\n\n");
+
+    std::vector<WorkloadRuns> sweep = runFullSweep();
+
+    TextTable table;
+    table.header({"Program", "slow", "fast", "ideal", "speedup(fast)"});
+    std::vector<double> norm_slow, norm_fast, norm_ideal;
+    for (const WorkloadRuns &runs : sweep) {
+        double local = runs.local.mobileSeconds;
+        double slow = runs.slow.mobileSeconds / local;
+        double fast = runs.fast.mobileSeconds / local;
+        double ideal = runs.ideal.mobileSeconds / local;
+        norm_slow.push_back(slow);
+        norm_fast.push_back(fast);
+        norm_ideal.push_back(ideal);
+        std::string slow_cell = fixed(slow, 3);
+        if (runs.slow.offloads == 0)
+            slow_cell += " *";
+        std::string fast_cell = fixed(fast, 3);
+        if (runs.fast.offloads == 0)
+            fast_cell += " *";
+        table.row({runs.spec->id, slow_cell, fast_cell, fixed(ideal, 3),
+                   fixed(1.0 / fast, 2) + "x"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double gm_slow = geomean(norm_slow);
+    double gm_fast = geomean(norm_fast);
+    double gm_ideal = geomean(norm_ideal);
+    std::printf("geomean normalized time: slow %.3f  fast %.3f  ideal "
+                "%.3f\n", gm_slow, gm_fast, gm_ideal);
+    std::printf("geomean time reduction:  slow %.1f%%  fast %.1f%%   "
+                "(paper: 82.0%% / 84.4%%)\n",
+                (1 - gm_slow) * 100, (1 - gm_fast) * 100);
+    std::printf("geomean speedup (fast):  %.2fx              "
+                "(paper: 6.42x)\n", 1.0 / gm_fast);
+
+    int refused_slow = 0;
+    for (const WorkloadRuns &runs : sweep)
+        refused_slow += runs.slow.offloads == 0;
+    std::printf("programs refused on 802.11n (*): %d  "
+                "(paper text names 164.gzip)\n", refused_slow);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Fig. 7: breakdown of offloaded execution time into
+ * computation, function-pointer translation, remote I/O and
+ * communication, for both networks. The paper's reading points:
+ * the compressors + mcf + sjeng + lbm are communication-heavy (and
+ * network-sensitive); twolf/gobmk/h264ref are remote-I/O-heavy;
+ * gobmk/sjeng/h264ref pay visible function-pointer translation.
+ */
+#include <cstdio>
+
+#include "bench/benchlib.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+using namespace nol::bench;
+
+namespace {
+
+void
+addRow(TextTable &table, const std::string &name,
+       const runtime::RunReport &report)
+{
+    const runtime::TimeBreakdown &b = report.breakdown;
+    double total = b.mobileCompute + b.serverCompute + b.fnPtrTranslation +
+                   b.remoteIo + b.communication;
+    if (report.offloads == 0) {
+        table.row({name, fixed(report.mobileSeconds, 1), "-", "-", "-",
+                   "-", "(not offloaded)"});
+        return;
+    }
+    auto pct = [&](double v) { return fixed(100 * v / total, 1) + "%"; };
+    table.row({name, fixed(total, 1),
+               pct(b.mobileCompute + b.serverCompute),
+               pct(b.fnPtrTranslation), pct(b.remoteIo),
+               pct(b.communication), ""});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 7: overhead breakdown (s = 802.11n, f = "
+                "802.11ac) ===\n\n");
+
+    std::vector<WorkloadRuns> sweep = runFullSweep();
+
+    TextTable table;
+    table.header({"Program", "total s", "compute", "fn-ptr", "remote I/O",
+                  "comm", ""});
+    for (const WorkloadRuns &runs : sweep) {
+        addRow(table, runs.spec->id + " (s)", runs.slow);
+        addRow(table, runs.spec->id + " (f)", runs.fast);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("shape checks against the paper's reading:\n");
+    for (const WorkloadRuns &runs : sweep) {
+        const std::string &id = runs.spec->id;
+        const runtime::TimeBreakdown &b = runs.fast.breakdown;
+        if (id == "445.gobmk" || id == "300.twolf" || id == "464.h264ref") {
+            std::printf("  %-12s remote I/O %.1fs (expected prominent)\n",
+                        id.c_str(), b.remoteIo);
+        }
+        if (id == "458.sjeng" || id == "445.gobmk" || id == "464.h264ref") {
+            std::printf("  %-12s fn-ptr translation %.1fs (expected "
+                        "visible)\n", id.c_str(), b.fnPtrTranslation);
+        }
+        if (id == "164.gzip" || id == "470.lbm" || id == "458.sjeng") {
+            double comm_slow = runs.slow.offloads > 0
+                                   ? runs.slow.breakdown.communication
+                                   : -1;
+            std::printf("  %-12s comm fast %.1fs vs slow %.1fs (expected "
+                        "network-sensitive)\n", id.c_str(),
+                        b.communication, comm_slow);
+        }
+    }
+    return 0;
+}

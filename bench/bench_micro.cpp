@@ -1,0 +1,186 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrates: LZ compression,
+ * paged-memory access, interpreter instruction throughput, struct
+ * layout computation and network-transfer math. These measure the
+ * framework itself (host wall-clock), not simulated time.
+ */
+#include <benchmark/benchmark.h>
+
+#include "compress/lz.hpp"
+#include "frontend/codegen.hpp"
+#include "interp/externals.hpp"
+#include "interp/interp.hpp"
+#include "interp/loader.hpp"
+#include "ir/datalayout.hpp"
+#include "net/simnetwork.hpp"
+#include "sim/pagedmemory.hpp"
+#include "support/rng.hpp"
+
+using namespace nol;
+
+static void
+BM_LzCompressText(benchmark::State &state)
+{
+    std::string text;
+    for (int i = 0; i < 400; ++i)
+        text += "lattice boltzmann methods stream and collide. ";
+    std::vector<uint8_t> data(text.begin(), text.end());
+    for (auto _ : state) {
+        auto packed = compress::lzCompress(data);
+        benchmark::DoNotOptimize(packed);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzCompressText);
+
+static void
+BM_LzCompressRandom(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<uint8_t> data(16384);
+    for (auto &b : data)
+        b = static_cast<uint8_t>(rng.next());
+    for (auto _ : state) {
+        auto packed = compress::lzCompress(data);
+        benchmark::DoNotOptimize(packed);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzCompressRandom);
+
+static void
+BM_LzDecompress(benchmark::State &state)
+{
+    std::string text;
+    for (int i = 0; i < 400; ++i)
+        text += "unified virtual address space with demand paging. ";
+    std::vector<uint8_t> data(text.begin(), text.end());
+    auto packed = compress::lzCompress(data);
+    for (auto _ : state) {
+        auto out = compress::lzDecompress(packed);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzDecompress);
+
+static void
+BM_PagedMemoryWrite(benchmark::State &state)
+{
+    sim::PagedMemory mem;
+    std::vector<uint8_t> buf(4096, 0x5A);
+    uint64_t addr = 0x40000000;
+    for (auto _ : state) {
+        mem.write(addr, buf.size(), buf.data());
+        addr += 4096;
+        if (addr > 0x48000000)
+            addr = 0x40000000;
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_PagedMemoryWrite);
+
+static void
+BM_PagedMemoryScalarReads(benchmark::State &state)
+{
+    sim::PagedMemory mem;
+    uint8_t seed[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    mem.write(0x1000, 8, seed);
+    uint8_t out[8];
+    for (auto _ : state) {
+        mem.read(0x1000 + (state.iterations() % 64) * 8 % 4000, 8, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_PagedMemoryScalarReads);
+
+static void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    auto mod = frontend::compileSource(R"(
+        int spin(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += (i * 7 + s) % 13;
+            return s;
+        }
+        int main() { return spin(10000) & 0xff; }
+    )", "bench.c");
+    sim::SimMachine machine(sim::MachineRole::Mobile, arch::makeArm32());
+    interp::ProgramImage image = interp::loadProgram(*mod, machine);
+    interp::DefaultEnv env;
+    uint64_t steps = 0;
+    for (auto _ : state) {
+        interp::Interp interp(machine, *mod, image, env);
+        auto r = interp.call(mod->functionByName("main"), {});
+        benchmark::DoNotOptimize(r);
+        steps = interp.steps();
+    }
+    state.counters["guest_insts_per_call"] =
+        static_cast<double>(steps);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+static void
+BM_StructLayoutComputation(benchmark::State &state)
+{
+    ir::Module mod("m");
+    ir::TypeContext &t = mod.types();
+    std::vector<ir::StructType *> structs;
+    for (int i = 0; i < 32; ++i) {
+        structs.push_back(t.createStruct(
+            "S" + std::to_string(i),
+            {{"a", t.i8()},
+             {"b", t.f64()},
+             {"c", t.i16()},
+             {"d", t.pointerTo(t.i32())},
+             {"e", t.arrayOf(t.i32(), 7)}}));
+    }
+    ir::DataLayout arm(arch::makeArm32());
+    for (auto _ : state) {
+        uint64_t total = 0;
+        for (ir::StructType *st : structs)
+            total += arm.naturalLayout(st).size;
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_StructLayoutComputation);
+
+static void
+BM_NetworkTransferMath(benchmark::State &state)
+{
+    net::SimNetwork network(net::makeWifi80211ac(), 64.0);
+    for (auto _ : state) {
+        double ns = network.transferTimeNs(1 << 20);
+        benchmark::DoNotOptimize(ns);
+    }
+}
+BENCHMARK(BM_NetworkTransferMath);
+
+static void
+BM_CompilePipeline(benchmark::State &state)
+{
+    const char *src = R"(
+        double acc;
+        int main() {
+            scanf("%d", 0);
+            acc = 0.0;
+            for (int i = 0; i < 500; i++)
+                for (int j = 0; j < 40; j++) acc += (double)(i ^ j);
+            printf("%f\n", acc);
+            return 0;
+        }
+    )";
+    for (auto _ : state) {
+        auto mod = frontend::compileSource(src, "bench.c");
+        benchmark::DoNotOptimize(mod->functions().size());
+    }
+}
+BENCHMARK(BM_CompilePipeline);
+
+BENCHMARK_MAIN();

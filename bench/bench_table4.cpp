@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Table 4: per-program offloading statistics for the 17
+ * SPEC-shaped workloads — smartphone execution time, offloaded target,
+ * coverage, invocation count and communication traffic per invocation
+ * (reported in paper-equivalent MB via each workload's scale factor k).
+ */
+#include <cstdio>
+
+#include "bench/benchlib.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+using namespace nol::bench;
+
+int
+main()
+{
+    std::printf("=== Table 4: offloaded-program details (17 SPEC-shaped "
+                "workloads) ===\n");
+    std::printf("measured on the 802.11ac configuration; traffic in "
+                "paper-equivalent MB (raw bytes x k)\n\n");
+
+    std::vector<WorkloadRuns> sweep = runFullSweep();
+
+    TextTable table;
+    table.header({"Program", "Exec(s)", "paper", "Target", "Cover%",
+                  "paper", "Inv", "paper", "Traf/inv MB", "paper"});
+    for (const WorkloadRuns &runs : sweep) {
+        const workloads::WorkloadSpec &spec = *runs.spec;
+        double coverage = 0;
+        for (const std::string &target : runs.program->targets())
+            coverage +=
+                runs.program->compiled().profile.coverage(target);
+        table.row({spec.id, fixed(runs.local.mobileSeconds, 1),
+                   fixed(spec.paper.execSeconds, 1), spec.expectedTarget,
+                   fixed(coverage * 100, 2),
+                   fixed(spec.paper.coveragePct, 2),
+                   std::to_string(runs.primaryInvocations(runs.fast)),
+                   std::to_string(spec.paper.invocations),
+                   fixed(runs.primaryTrafficMb(runs.fast), 1),
+                   fixed(spec.paper.trafficMb, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Offloaded/total function counts (the Table 4 "Offloaded Function"
+    // column).
+    TextTable fns;
+    fns.header({"Program", "Server fns kept", "Total fns",
+                "UVA globals", "Total globals", "Fn-ptr call sites"});
+    for (const WorkloadRuns &runs : sweep) {
+        const auto &part = runs.program->compiled().partition;
+        const auto &unify = runs.program->compiled().unifyStats;
+        fns.row({runs.spec->id, std::to_string(part.serverFunctionsKept),
+                 std::to_string(part.totalFunctions),
+                 std::to_string(unify.uvaGlobals),
+                 std::to_string(unify.totalGlobals),
+                 std::to_string(part.functionPointerUses)});
+    }
+    std::printf("%s", fns.render().c_str());
+    return 0;
+}

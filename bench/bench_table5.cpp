@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reprints Table 5: qualitative comparison of computation-offload
+ * systems. Static data (the paper's related-work matrix); the check
+ * that Native Offloader is the unique row with all five properties is
+ * recomputed from the data.
+ */
+#include <cstdio>
+
+#include "core/surveydata.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+using namespace nol::core;
+
+int
+main()
+{
+    std::printf("=== Table 5: comparison of computation offload systems "
+                "===\n\n");
+
+    TextTable table;
+    table.header({"System", "Fully-Automatic", "Decision", "Requires VM",
+                  "Language", "Target complexity"});
+    for (const RelatedSystemRow &row : relatedSystems()) {
+        table.row({row.system, row.fullyAutomatic ? "Yes" : "No",
+                   row.decision, row.requiresVm ? "Yes" : "No",
+                   row.language, row.complexity});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    int unique = 0;
+    for (const RelatedSystemRow &row : relatedSystems()) {
+        if (row.fullyAutomatic && row.decision == "Dynamic" &&
+            !row.requiresVm && row.language == "C" &&
+            row.complexity == "Complex") {
+            ++unique;
+            std::printf("all-five-properties system: %s\n",
+                        row.system.c_str());
+        }
+    }
+    std::printf("(exactly %d system has automatic + dynamic + no-VM + "
+                "native C + complex apps)\n", unique);
+    return 0;
+}

@@ -1,0 +1,122 @@
+#include "bench/benchlib.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nol::bench {
+
+int
+WorkloadRuns::primaryInvocations(const runtime::RunReport &report) const
+{
+    int count = 0;
+    for (const runtime::OffloadEvent &event : report.events) {
+        if (event.target == spec->expectedTarget && event.offloaded)
+            ++count;
+    }
+    return count;
+}
+
+double
+WorkloadRuns::primaryTrafficMb(const runtime::RunReport &report) const
+{
+    double bytes = 0;
+    int count = 0;
+    for (const runtime::OffloadEvent &event : report.events) {
+        if (event.target == spec->expectedTarget && event.offloaded &&
+            !event.ideal) {
+            bytes += event.rawTrafficBytes;
+            ++count;
+        }
+    }
+    if (count == 0)
+        return 0;
+    return bytes * spec->memScale / (1e6 * count);
+}
+
+core::Program
+compileWorkload(const workloads::WorkloadSpec &spec)
+{
+    core::CompileRequest req;
+    req.name = spec.id;
+    req.source = spec.source;
+    req.profilingInput = spec.profilingInput;
+    // The compiler's static estimator is deliberately generous: it
+    // assumes the best network the deployment might see (802.11ac),
+    // scaled consistently with the workload's byte counts. Generating
+    // the offloading-enabled code is cheap — the runtime's dynamic
+    // estimator makes the real call per invocation (paper Sec. 4).
+    req.staticBandwidthMbps = 844.0 / spec.memScale;
+    return core::Program::compile(req);
+}
+
+runtime::RunReport
+runConfig(const core::Program &program, const workloads::WorkloadSpec &spec,
+          const runtime::SystemConfig &config)
+{
+    runtime::RunInput input;
+    input.stdinText = spec.evalInput.stdinText;
+    input.files = spec.evalInput.files;
+    return program.run(config, input);
+}
+
+std::vector<WorkloadRuns>
+runSweep(const std::vector<std::string> &ids, bool verbose)
+{
+    std::vector<WorkloadRuns> out;
+    for (const std::string &id : ids) {
+        const workloads::WorkloadSpec *spec = workloads::workloadById(id);
+        NOL_ASSERT(spec != nullptr, "unknown workload %s", id.c_str());
+        if (verbose) {
+            std::fprintf(stderr, "  [sweep] %s ...\n", id.c_str());
+        }
+        WorkloadRuns runs;
+        runs.spec = spec;
+        runs.program = std::make_shared<core::Program>(
+            compileWorkload(*spec));
+
+        runtime::SystemConfig local_cfg;
+        local_cfg.forceLocal = true;
+        local_cfg.memScale = spec->memScale;
+        runs.local = runConfig(*runs.program, *spec, local_cfg);
+
+        runtime::SystemConfig slow_cfg;
+        slow_cfg.network = net::makeWifi80211n();
+        slow_cfg.memScale = spec->memScale;
+        runs.slow = runConfig(*runs.program, *spec, slow_cfg);
+
+        runtime::SystemConfig fast_cfg;
+        fast_cfg.network = net::makeWifi80211ac();
+        fast_cfg.memScale = spec->memScale;
+        runs.fast = runConfig(*runs.program, *spec, fast_cfg);
+
+        runtime::SystemConfig ideal_cfg;
+        ideal_cfg.idealOffload = true;
+        ideal_cfg.memScale = spec->memScale;
+        runs.ideal = runConfig(*runs.program, *spec, ideal_cfg);
+
+        out.push_back(std::move(runs));
+    }
+    return out;
+}
+
+std::vector<WorkloadRuns>
+runFullSweep(bool verbose)
+{
+    std::vector<std::string> ids;
+    for (const workloads::WorkloadSpec &spec : workloads::allWorkloads())
+        ids.push_back(spec.id);
+    return runSweep(ids, verbose);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace nol::bench

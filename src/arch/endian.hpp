@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Endianness-aware scalar load/store helpers. All simulated memory is a
+ * flat byte array; these helpers are the single place where byte order
+ * is interpreted, so the interpreter and runtime agree by construction.
+ */
+#ifndef NOL_ARCH_ENDIAN_HPP
+#define NOL_ARCH_ENDIAN_HPP
+
+#include <cstdint>
+#include <cstring>
+
+#include "arch/archspec.hpp"
+
+namespace nol::arch {
+
+/** Byte-swap a 16-bit value. */
+constexpr uint16_t
+bswap16(uint16_t v)
+{
+    return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+
+/** Byte-swap a 32-bit value. */
+constexpr uint32_t
+bswap32(uint32_t v)
+{
+    return ((v & 0x0000'00ffu) << 24) | ((v & 0x0000'ff00u) << 8) |
+           ((v & 0x00ff'0000u) >> 8) | ((v & 0xff00'0000u) >> 24);
+}
+
+/** Byte-swap a 64-bit value. */
+constexpr uint64_t
+bswap64(uint64_t v)
+{
+    return (static_cast<uint64_t>(bswap32(static_cast<uint32_t>(v))) << 32) |
+           bswap32(static_cast<uint32_t>(v >> 32));
+}
+
+/**
+ * Read a little-endian unsigned integer of @p size bytes (1/2/4/8)
+ * from @p bytes, converting from @p endian storage order.
+ */
+inline uint64_t
+loadScalar(const uint8_t *bytes, uint32_t size, Endianness endian)
+{
+    uint64_t v = 0;
+    std::memcpy(&v, bytes, size); // host is little-endian
+    if (endian == Endianness::Big) {
+        switch (size) {
+          case 1: break;
+          case 2: v = bswap16(static_cast<uint16_t>(v)); break;
+          case 4: v = bswap32(static_cast<uint32_t>(v)); break;
+          case 8: v = bswap64(v); break;
+        }
+    }
+    return v;
+}
+
+/**
+ * Store the low @p size bytes of @p value into @p bytes in @p endian
+ * storage order.
+ */
+inline void
+storeScalar(uint8_t *bytes, uint32_t size, Endianness endian, uint64_t value)
+{
+    if (endian == Endianness::Big) {
+        switch (size) {
+          case 1: break;
+          case 2: value = bswap16(static_cast<uint16_t>(value)); break;
+          case 4: value = bswap32(static_cast<uint32_t>(value)); break;
+          case 8: value = bswap64(value); break;
+        }
+    }
+    std::memcpy(bytes, &value, size);
+}
+
+} // namespace nol::arch
+
+#endif // NOL_ARCH_ENDIAN_HPP

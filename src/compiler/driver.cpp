@@ -1,0 +1,64 @@
+#include "compiler/driver.hpp"
+
+#include "ir/callgraph.hpp"
+#include "support/logging.hpp"
+
+namespace nol::compiler {
+
+CompileOptions::CompileOptions()
+    : mobileSpec(arch::makeArm32()), serverSpec(arch::makeX86_64())
+{
+}
+
+std::vector<std::string>
+CompiledProgram::targetNames() const
+{
+    std::vector<std::string> out;
+    for (const PartitionedTarget &target : partition.targets)
+        out.push_back(target.name);
+    return out;
+}
+
+CompiledProgram
+compileForOffload(std::unique_ptr<ir::Module> module,
+                  const CompileOptions &options)
+{
+    CompiledProgram out;
+    out.mobileSpec = options.mobileSpec;
+    out.serverSpec = options.serverSpec;
+    out.estimatorParams = options.estimator;
+    if (out.estimatorParams.speedRatio <= 0) {
+        out.estimatorParams.speedRatio =
+            options.mobileSpec.nsPerCostUnit /
+            options.serverSpec.nsPerCostUnit;
+    }
+
+    // 1. Hot function/loop profiling with the profiling input.
+    out.profile = profile::profileModule(*module, options.mobileSpec,
+                                         options.profilingInput,
+                                         options.entry);
+
+    // 2-3. Filter machine-specific tasks, estimate, select targets.
+    {
+        ir::CallGraph cg(*module);
+        FilterResult filter =
+            runFunctionFilter(*module, cg, options.filter);
+        out.selection = selectTargets(*module, out.profile, filter, cg,
+                                      out.estimatorParams);
+    }
+
+    // 4. Outline loop targets into functions.
+    OutlinedTargets outlined = outlineTargets(*module, out.selection);
+
+    // 5. Memory unification (whole-module, before partitioning).
+    out.unifyStats = unifyMemory(*module, outlined.fns,
+                                 options.mobileSpec, options.serverSpec);
+
+    // 6. Partition into mobile and server modules.
+    out.partition = partitionModule(*module, outlined);
+
+    out.unified = std::move(module);
+    return out;
+}
+
+} // namespace nol::compiler

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The Native Offloader compiler driver (paper Fig. 2): profiles the
+ * program, filters machine-specific tasks, estimates gains, selects
+ * targets, outlines loop targets, unifies memory and partitions into
+ * the mobile and server modules — the full compile-time half of the
+ * system.
+ */
+#ifndef NOL_COMPILER_DRIVER_HPP
+#define NOL_COMPILER_DRIVER_HPP
+
+#include <memory>
+
+#include "compiler/memunifier.hpp"
+#include "compiler/partitioner.hpp"
+#include "compiler/targetselector.hpp"
+#include "profile/profiler.hpp"
+
+namespace nol::compiler {
+
+/** Compile-time configuration. */
+struct CompileOptions {
+    arch::ArchSpec mobileSpec;
+    arch::ArchSpec serverSpec;
+    /** Estimation parameters; speedRatio <= 0 derives it from the specs. */
+    EstimatorParams estimator{/*speedRatio=*/0.0, /*bandwidthMbps=*/80.0};
+    FilterConfig filter;
+    profile::ProfileInput profilingInput;
+    std::string entry = "main";
+
+    CompileOptions();
+};
+
+/** Everything the compile pipeline produced. */
+struct CompiledProgram {
+    /** The unified module (owns the shared type context's origin). */
+    std::unique_ptr<ir::Module> unified;
+    PartitionResult partition;
+    profile::ProfileResult profile;
+    SelectionResult selection;
+    UnifyStats unifyStats;
+    EstimatorParams estimatorParams;
+    arch::ArchSpec mobileSpec;
+    arch::ArchSpec serverSpec;
+
+    /** Convenience: names of the selected targets. */
+    std::vector<std::string> targetNames() const;
+};
+
+/**
+ * Run the whole compile pipeline on @p module (consumed). Programs
+ * with no profitable machine-independent target still compile: the
+ * mobile module is then simply the whole program (empty target list).
+ */
+CompiledProgram compileForOffload(std::unique_ptr<ir::Module> module,
+                                  const CompileOptions &options);
+
+} // namespace nol::compiler
+
+#endif // NOL_COMPILER_DRIVER_HPP

@@ -1,0 +1,27 @@
+#include "compiler/estimator.hpp"
+
+namespace nol::compiler {
+
+Estimate
+estimateGain(double mobile_seconds, uint64_t mem_bytes,
+             uint64_t invocations, const EstimatorParams &params)
+{
+    Estimate est;
+    est.mobileSeconds = mobile_seconds;
+    est.idealGain = mobile_seconds * (1.0 - 1.0 / params.speedRatio);
+    double megabits = static_cast<double>(mem_bytes) * 8.0 / 1e6;
+    est.commSeconds = 2.0 * (megabits / params.bandwidthMbps) *
+                      static_cast<double>(invocations);
+    est.gain = est.idealGain - est.commSeconds;
+    return est;
+}
+
+Estimate
+estimateRegion(const profile::RegionProfile &region,
+               const EstimatorParams &params)
+{
+    return estimateGain(region.execSeconds(), region.memBytes(),
+                        region.invocations, params);
+}
+
+} // namespace nol::compiler

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Function filter (paper Sec. 3.1): rules machine-specific tasks out of
+ * the offload-candidate set. A function or loop is machine specific if
+ * it (transitively) contains an assembly instruction, a system call, an
+ * unknown external call, or an I/O instruction — except I/O calls the
+ * remote I/O manager (Sec. 3.4) can execute remotely, which stay
+ * offloadable when the optimization is enabled.
+ */
+#ifndef NOL_COMPILER_FUNCTIONFILTER_HPP
+#define NOL_COMPILER_FUNCTIONFILTER_HPP
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/callgraph.hpp"
+#include "ir/module.hpp"
+
+namespace nol::compiler {
+
+/** Filter configuration. */
+struct FilterConfig {
+    /** Treat remotable I/O builtins as offloadable (paper Sec. 3.4). */
+    bool remoteIoEnabled = true;
+};
+
+/** True if builtin @p name is remotely executable I/O. */
+bool isRemoteIoCapable(const std::string &name);
+
+/** True if builtin @p name is interactive (never remotable) I/O. */
+bool isInteractiveIo(const std::string &name);
+
+/** Classification of every function in a module. */
+class FilterResult
+{
+  public:
+    /** True if @p fn may NOT be offloaded. */
+    bool isMachineSpecific(const ir::Function *fn) const
+    {
+        return tainted_.count(fn) != 0;
+    }
+
+    /** True if @p loop of @p fn may NOT be offloaded. */
+    bool loopIsMachineSpecific(const ir::Function *fn,
+                               const ir::LoopMeta &loop) const;
+
+    /** Human-readable reason @p fn was filtered ("" if offloadable). */
+    std::string reason(const ir::Function *fn) const;
+
+    /** True if @p fn (transitively) performs remote-capable I/O. */
+    bool usesRemoteIo(const ir::Function *fn) const
+    {
+        return remote_io_users_.count(fn) != 0;
+    }
+
+    /** All machine-specific functions. */
+    const std::set<const ir::Function *> &tainted() const
+    {
+        return tainted_;
+    }
+
+  private:
+    friend FilterResult runFunctionFilter(const ir::Module &,
+                                          const ir::CallGraph &,
+                                          const FilterConfig &);
+    std::set<const ir::Function *> tainted_;
+    std::map<const ir::Function *, std::string> reasons_;
+    std::set<const ir::Function *> remote_io_users_;
+    std::set<const ir::Function *> direct_tainted_;
+    std::map<const ir::Function *,
+             std::set<const ir::BasicBlock *>> tainted_blocks_;
+};
+
+/** Classify every function of @p module. */
+FilterResult runFunctionFilter(const ir::Module &module,
+                               const ir::CallGraph &cg,
+                               const FilterConfig &config = {});
+
+} // namespace nol::compiler
+
+#endif // NOL_COMPILER_FUNCTIONFILTER_HPP

@@ -1,0 +1,145 @@
+#include "compiler/memunifier.hpp"
+
+#include "frontend/builtins.hpp"
+#include "ir/datalayout.hpp"
+
+namespace nol::compiler {
+
+namespace {
+
+/** malloc-family builtin → its UVA counterpart. */
+const char *
+uvaCounterpart(const std::string &name)
+{
+    if (name == "malloc")
+        return "u_malloc";
+    if (name == "calloc")
+        return "u_calloc";
+    if (name == "realloc")
+        return "u_realloc";
+    if (name == "free")
+        return "u_free";
+    return nullptr;
+}
+
+/** Declare the UVA allocator entry point matching builtin @p like. */
+ir::Function *
+declareUvaFn(ir::Module &module, const std::string &name,
+             const ir::Function *like)
+{
+    if (ir::Function *existing = module.functionByName(name))
+        return existing;
+    ir::Function *fn =
+        module.createFunction(name, like->functionType(), /*external=*/true);
+    fn->materializeArgs();
+    return fn;
+}
+
+/** Collect globals referenced by @p fn (operands + nested in calls). */
+void
+collectGlobals(const ir::Function &fn,
+               std::set<const ir::GlobalVariable *> &out)
+{
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            for (const ir::Value *op : inst->operands()) {
+                if (op->valueKind() == ir::Value::Kind::Global)
+                    out.insert(static_cast<const ir::GlobalVariable *>(op));
+            }
+        }
+    }
+}
+
+/** Globals referenced (transitively) by a global initializer. */
+void
+collectInitGlobals(const ir::Initializer &init,
+                   std::set<const ir::GlobalVariable *> &out)
+{
+    if (init.kind == ir::Initializer::Kind::Global && init.global != nullptr)
+        out.insert(init.global);
+    for (const auto &elem : init.elems)
+        collectInitGlobals(elem, out);
+}
+
+} // namespace
+
+UnifyStats
+unifyMemory(ir::Module &module, const std::vector<ir::Function *> &targets,
+            const arch::ArchSpec &mobile, const arch::ArchSpec &server)
+{
+    UnifyStats stats;
+
+    // 1. Memory layout realignment: pin every struct to the mobile
+    //    layout (the mobile device is the offloading default, Fig. 4).
+    ir::DataLayout mobile_dl{mobile};
+    for (ir::StructType *st : module.types().structs()) {
+        if (st->hasExplicitLayout())
+            continue;
+        st->setExplicitLayout(mobile_dl.naturalLayout(st));
+        ++stats.structsRealigned;
+    }
+
+    // 2. Unified ABI: address size conversion and endianness
+    //    translation are implied by pinning the module to the mobile
+    //    ArchSpec — both interpreters then access memory with mobile
+    //    pointer width and byte order.
+    module.setUnifiedAbi(mobile);
+    stats.addressSizeConversion = mobile.pointerSize != server.pointerSize;
+    stats.endiannessTranslation = mobile.endian != server.endian;
+
+    // 3. Heap allocation replacement: every allocation site moves to
+    //    the UVA allocator ("the compiler replaces all the
+    //    allocation/deallocation sites because a server may access an
+    //    object not on the UVA space due to imprecise alias analysis").
+    //    Snapshot the function list first: declaring u_* functions
+    //    grows module.functions() and would invalidate iterators.
+    std::vector<ir::Function *> fns;
+    for (const auto &fn : module.functions())
+        fns.push_back(fn.get());
+    for (ir::Function *fn : fns) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (inst->op() != ir::Opcode::Call)
+                    continue;
+                const char *uva_name = uvaCounterpart(inst->callee()->name());
+                if (uva_name == nullptr)
+                    continue;
+                inst->setCallee(
+                    declareUvaFn(module, uva_name, inst->callee()));
+                ++stats.allocSitesReplaced;
+            }
+        }
+    }
+
+    // 4. Referenced global variable allocation: globals reachable from
+    //    any offload target (directly, through its callees, or through
+    //    initializers of already-referenced globals) move to UVA space.
+    ir::CallGraph cg(module);
+    std::set<ir::Function *> reach = cg.reachableFrom(targets);
+    std::set<const ir::GlobalVariable *> referenced;
+    for (const ir::Function *fn : reach)
+        collectGlobals(*fn, referenced);
+
+    // Transitive closure over initializers (a UVA global whose
+    // initializer points at another global drags that one in too).
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        std::set<const ir::GlobalVariable *> extra;
+        for (const ir::GlobalVariable *gv : referenced)
+            collectInitGlobals(gv->init(), extra);
+        for (const ir::GlobalVariable *gv : extra)
+            grew |= referenced.insert(gv).second;
+    }
+
+    stats.totalGlobals = module.globals().size();
+    for (const auto &gv : module.globals()) {
+        if (referenced.count(gv.get()) != 0) {
+            gv->setInUva(true);
+            ++stats.uvaGlobals;
+        }
+    }
+    return stats;
+}
+
+} // namespace nol::compiler

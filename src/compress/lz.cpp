@@ -1,0 +1,137 @@
+#include "compress/lz.hpp"
+
+#include <cstring>
+
+#include "support/logging.hpp"
+
+namespace nol::compress {
+
+namespace {
+
+constexpr size_t kWindow = 4096;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;
+constexpr size_t kHashSize = 1 << 13;
+
+uint32_t
+hash3(const uint8_t *p)
+{
+    uint32_t v = static_cast<uint32_t>(p[0]) |
+                 (static_cast<uint32_t>(p[1]) << 8) |
+                 (static_cast<uint32_t>(p[2]) << 16);
+    return (v * 2654435761u) >> (32 - 13);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+lzCompress(const uint8_t *data, size_t size)
+{
+    std::vector<uint8_t> out;
+    out.reserve(size / 2 + 16);
+    out.push_back(static_cast<uint8_t>(size));
+    out.push_back(static_cast<uint8_t>(size >> 8));
+    out.push_back(static_cast<uint8_t>(size >> 16));
+    out.push_back(static_cast<uint8_t>(size >> 24));
+
+    // Last match-start position per 3-byte hash bucket.
+    std::vector<size_t> head(kHashSize, SIZE_MAX);
+
+    size_t pos = 0;
+    while (pos < size) {
+        size_t flag_index = out.size();
+        out.push_back(0);
+        uint8_t flags = 0;
+        for (int token = 0; token < 8 && pos < size; ++token) {
+            size_t best_len = 0;
+            size_t best_dist = 0;
+            if (pos + kMinMatch <= size) {
+                uint32_t h = hash3(data + pos);
+                size_t cand = head[h];
+                head[h] = pos;
+                if (cand != SIZE_MAX && cand < pos &&
+                    pos - cand <= kWindow) {
+                    size_t limit = std::min(kMaxMatch, size - pos);
+                    size_t len = 0;
+                    while (len < limit && data[cand + len] == data[pos + len])
+                        ++len;
+                    if (len >= kMinMatch) {
+                        best_len = len;
+                        best_dist = pos - cand;
+                    }
+                }
+            }
+            if (best_len >= kMinMatch) {
+                uint16_t dist = static_cast<uint16_t>(best_dist - 1);
+                uint16_t lenc = static_cast<uint16_t>(best_len - kMinMatch);
+                out.push_back(static_cast<uint8_t>(dist & 0xff));
+                out.push_back(static_cast<uint8_t>(((dist >> 8) & 0x0f) |
+                                                   (lenc << 4)));
+                // Index the skipped positions so later matches can
+                // reference them.
+                for (size_t k = 1; k < best_len &&
+                                   pos + k + kMinMatch <= size; ++k) {
+                    head[hash3(data + pos + k)] = pos + k;
+                }
+                pos += best_len;
+            } else {
+                flags |= static_cast<uint8_t>(1u << token);
+                out.push_back(data[pos]);
+                ++pos;
+            }
+        }
+        out[flag_index] = flags;
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+lzDecompress(const uint8_t *data, size_t size)
+{
+    NOL_ASSERT(size >= 4, "lz buffer too small");
+    uint32_t original = static_cast<uint32_t>(data[0]) |
+                        (static_cast<uint32_t>(data[1]) << 8) |
+                        (static_cast<uint32_t>(data[2]) << 16) |
+                        (static_cast<uint32_t>(data[3]) << 24);
+    std::vector<uint8_t> out;
+    out.reserve(original);
+
+    size_t pos = 4;
+    while (out.size() < original) {
+        NOL_ASSERT(pos < size, "truncated lz stream (flags)");
+        uint8_t flags = data[pos++];
+        for (int token = 0; token < 8 && out.size() < original; ++token) {
+            if (flags & (1u << token)) {
+                NOL_ASSERT(pos < size, "truncated lz stream (literal)");
+                out.push_back(data[pos++]);
+            } else {
+                NOL_ASSERT(pos + 1 < size, "truncated lz stream (match)");
+                uint8_t lo = data[pos++];
+                uint8_t hi = data[pos++];
+                size_t dist = (static_cast<size_t>(lo) |
+                               (static_cast<size_t>(hi & 0x0f) << 8)) + 1;
+                size_t len = static_cast<size_t>(hi >> 4) + kMinMatch;
+                NOL_ASSERT(dist <= out.size(), "lz match before start");
+                size_t start = out.size() - dist;
+                for (size_t k = 0; k < len; ++k)
+                    out.push_back(out[start + k]);
+            }
+        }
+    }
+    NOL_ASSERT(out.size() == original, "lz size mismatch");
+    return out;
+}
+
+std::vector<uint8_t>
+lzCompress(const std::vector<uint8_t> &data)
+{
+    return lzCompress(data.data(), data.size());
+}
+
+std::vector<uint8_t>
+lzDecompress(const std::vector<uint8_t> &data)
+{
+    return lzDecompress(data.data(), data.size());
+}
+
+} // namespace nol::compress

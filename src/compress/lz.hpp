@@ -1,0 +1,36 @@
+/**
+ * @file
+ * From-scratch LZSS byte compressor used for server→mobile write-back
+ * (paper Sec. 4: "the runtime applies the compression only to the
+ * server-to-mobile communication" because compressing is much more
+ * expensive than decompressing). Format:
+ *
+ *   [u32 original_size] then groups of 8 tokens, each group preceded
+ *   by a flag byte (bit i set = token i is a literal byte; clear =
+ *   2-byte match reference: 12-bit distance-1, 4-bit length-3).
+ *
+ * Window 4096 bytes, match length 3..18 — classic LZSS parameters,
+ * deliberately simple and fully deterministic.
+ */
+#ifndef NOL_COMPRESS_LZ_HPP
+#define NOL_COMPRESS_LZ_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nol::compress {
+
+/** Compress @p data; always succeeds (worst case ~9/8 expansion). */
+std::vector<uint8_t> lzCompress(const uint8_t *data, size_t size);
+
+/** Decompress a lzCompress buffer; panics on malformed input. */
+std::vector<uint8_t> lzDecompress(const uint8_t *data, size_t size);
+
+/** Convenience overloads. */
+std::vector<uint8_t> lzCompress(const std::vector<uint8_t> &data);
+std::vector<uint8_t> lzDecompress(const std::vector<uint8_t> &data);
+
+} // namespace nol::compress
+
+#endif // NOL_COMPRESS_LZ_HPP

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Public facade of the Native Offloader framework. One call compiles a
+ * MiniC program through the whole pipeline (profile → filter →
+ * estimate → select → unify → partition) and the resulting Program can
+ * then be executed under any runtime configuration: local baseline,
+ * real offloading over a chosen network, or ideal (zero-overhead)
+ * offloading.
+ *
+ * Quickstart:
+ * @code
+ *   nol::core::CompileRequest req;
+ *   req.name = "app";
+ *   req.source = "... MiniC ...";
+ *   req.profilingInput.stdinText = "4";
+ *   nol::core::Program prog = nol::core::Program::compile(req);
+ *
+ *   nol::runtime::SystemConfig cfg;       // 802.11ac by default
+ *   nol::runtime::RunInput input;
+ *   input.stdinText = "9";
+ *   nol::runtime::RunReport rep = prog.run(cfg, input);
+ * @endcode
+ */
+#ifndef NOL_CORE_NATIVEOFFLOADER_HPP
+#define NOL_CORE_NATIVEOFFLOADER_HPP
+
+#include <memory>
+#include <string>
+
+#include "compiler/driver.hpp"
+#include "runtime/offload.hpp"
+
+namespace nol::core {
+
+/** Everything needed to compile a program for offloading. */
+struct CompileRequest {
+    std::string name = "app";
+    std::string source;
+    profile::ProfileInput profilingInput;
+    arch::ArchSpec mobileSpec;  ///< defaults to the paper's ARM device
+    arch::ArchSpec serverSpec;  ///< defaults to the paper's x86 server
+    compiler::FilterConfig filter;
+    /** Bandwidth assumed by the *static* estimator, in Mbps (paper
+     *  Table 3 uses 80). This should be pre-scaled consistently with
+     *  the runtime memScale when workloads are scaled. */
+    double staticBandwidthMbps = 80.0;
+
+    CompileRequest();
+};
+
+/** A compiled, offloading-enabled program. */
+class Program
+{
+  public:
+    /** Run the whole Native Offloader compiler on @p request. */
+    static Program compile(const CompileRequest &request);
+
+    /** Execute under @p config with @p input. */
+    runtime::RunReport run(const runtime::SystemConfig &config,
+                           const runtime::RunInput &input) const;
+
+    /** Convenience: local baseline run (never offloads). */
+    runtime::RunReport runLocal(const runtime::RunInput &input) const;
+
+    /** Convenience: ideal zero-overhead offloading run. */
+    runtime::RunReport runIdeal(const runtime::RunInput &input) const;
+
+    /** The full compile pipeline output. */
+    const compiler::CompiledProgram &compiled() const { return *compiled_; }
+
+    /** Names of the selected offload targets. */
+    std::vector<std::string> targets() const
+    {
+        return compiled_->targetNames();
+    }
+
+    /** True if at least one target was selected. */
+    bool hasTargets() const
+    {
+        return !compiled_->partition.targets.empty();
+    }
+
+  private:
+    explicit Program(std::shared_ptr<compiler::CompiledProgram> compiled)
+        : compiled_(std::move(compiled))
+    {}
+
+    std::shared_ptr<compiler::CompiledProgram> compiled_;
+};
+
+} // namespace nol::core
+
+#endif // NOL_CORE_NATIVEOFFLOADER_HPP

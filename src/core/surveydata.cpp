@@ -1,0 +1,94 @@
+#include "core/surveydata.hpp"
+
+namespace nol::core {
+
+const std::vector<AndroidAppRow> &
+androidAppSurvey()
+{
+    static const std::vector<AndroidAppRow> kRows = {
+        {"AdAway", "3.0.2", "AD blocker", 132882, 310321,
+         "Read articles with ads", 21.54},
+        {"Orbot", "14.1.4-noPIE", "Tor client", 675851, 969243,
+         "Web browsing with Tor", 61.98},
+        {"Firefox", "40.0", "Web browser", 8094678, 15509820,
+         "Web browsing 4 websites", 88.27},
+        {"VLC Player", "1.5.1.1", "Media player", 3584526, 6433726,
+         "Play a movie w/ HW decoder", 23.05},
+        {"VLC Player", "1.5.1.1", "Media player", 3584526, 6433726,
+         "Play a movie w/o HW decoder", 92.34},
+        {"Open Camera", "1.2", "Camera", 0, 10336, "N/A", 0.0},
+        {"osmAnd", "2.1.1", "Map/Navigation", 53695, 450573,
+         "Search nearby places", 23.86},
+        {"Syncthing", "0.5.0-beta5", "File synchronizer", 0, 59461, "N/A",
+         0.0},
+        {"AFWall+", "1.3.4.1", "Network traffic controller", 1514, 59741,
+         "Web browsing 4 websites", 0.30},
+        {"2048", "1.95", "Puzzle game", 0, 2232, "N/A", 0.0},
+        {"K-9 Mail", "4.804", "Email client", 0, 96588, "N/A", 0.0},
+        {"PDF Reader", "0.4.0", "PDF viewer", 334489, 594434,
+         "Read a book with zoom", 28.30},
+        {"ownCloud", "1.5.8", "File synchronizer", 0, 77141, "N/A", 0.0},
+        {"DAVdroid", "0.6.2", "Private data synchronizer", 0, 7435, "N/A",
+         0.0},
+        {"Barcode Scanner", "4.7.0", "2D/QR code scanner", 0, 50201, "N/A",
+         0.0},
+        {"SatStat", "2", "Sensor status monitor", 0, 7480, "N/A", 0.0},
+        {"Cool Reader", "3.1.2-72", "Ebook reader", 491556, 681001,
+         "Read a book", 97.73},
+        {"OS Monitor", "3.4.1.0", "OS monitor", 5902, 74513,
+         "Read network and process info.", 4.38},
+        {"Orweb", "0.6.1", "Web browser", 0, 14124, "N/A", 0.0},
+        {"PPSSPP", "1.0.1.0", "PSP emulator", 1304973, 1438322,
+         "Play a game for 1 minute", 97.68},
+        {"Adblock Plus", "1.1.3", "AD blocker", 2102, 63779,
+         "Read articles with ads", 22.83},
+    };
+    return kRows;
+}
+
+SurveyStats
+computeSurveyStats()
+{
+    SurveyStats stats;
+    std::string last_app;
+    for (const AndroidAppRow &row : androidAppSurvey()) {
+        if (row.app == last_app)
+            continue; // VLC's second scenario: same app
+        last_app = row.app;
+        ++stats.totalApps;
+        double loc_ratio =
+            row.totalLoc > 0
+                ? 100.0 * static_cast<double>(row.cLoc) /
+                      static_cast<double>(row.totalLoc)
+                : 0.0;
+        if (loc_ratio > 50.0)
+            ++stats.appsOverHalfNativeLoc;
+        if (row.execTimeRatio > 20.0)
+            ++stats.appsOverFifthNativeTime;
+    }
+    return stats;
+}
+
+const std::vector<RelatedSystemRow> &
+relatedSystems()
+{
+    static const std::vector<RelatedSystemRow> kRows = {
+        {"Cuckoo", false, "Static", true, "Java", "Complex"},
+        {"Li et al.", false, "Static", false, "C", "Simple"},
+        {"Roam", false, "Dynamic", true, "Java", "Complex"},
+        {"MAUI", false, "Dynamic", true, "C#", "Complex"},
+        {"ThinkAir", false, "Dynamic", true, "Java", "Complex"},
+        {"Wang and Li", false, "Dynamic", false, "C", "Simple"},
+        {"DiET", true, "Static", true, "Java", "Simple"},
+        {"Chen et al.", true, "Dynamic", true, "Java", "Simple"},
+        {"HELVM", true, "Dynamic", true, "Java", "Simple"},
+        {"OLIE", true, "Dynamic", true, "Java", "Complex"},
+        {"CloneCloud", true, "Dynamic", true, "Java", "Complex"},
+        {"COMET", true, "Dynamic", true, "Java", "Complex"},
+        {"CMcloud", true, "Dynamic", true, "Java", "Complex"},
+        {"Native Offloader", true, "Dynamic", false, "C", "Complex"},
+    };
+    return kRows;
+}
+
+} // namespace nol::core

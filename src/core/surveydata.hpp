@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static datasets the paper reports as surveys rather than
+ * experiments: Table 2 (native-code share of the top 20 open-source
+ * Android applications) and Table 5 (qualitative comparison with
+ * related offloading systems). The benches reprint these and recompute
+ * the derived statistics the paper's prose cites.
+ */
+#ifndef NOL_CORE_SURVEYDATA_HPP
+#define NOL_CORE_SURVEYDATA_HPP
+
+#include <string>
+#include <vector>
+
+namespace nol::core {
+
+/** One row of the paper's Table 2. */
+struct AndroidAppRow {
+    std::string app;
+    std::string version;
+    std::string description;
+    long cLoc = 0;       ///< C/C++ lines of code
+    long totalLoc = 0;   ///< total lines of code
+    std::string runtimeScenario;
+    double execTimeRatio = 0; ///< % of run time in native code (-1: N/A)
+};
+
+/** The 20 applications of Table 2 (plus VLC's second scenario). */
+const std::vector<AndroidAppRow> &androidAppSurvey();
+
+/** Derived statistics the paper's Sec. 1 quotes. */
+struct SurveyStats {
+    int totalApps = 0;
+    int appsOverHalfNativeLoc = 0;    ///< >50% C/C++ LoC
+    int appsOverFifthNativeTime = 0;  ///< >20% native exec time
+};
+
+/** Recompute the Sec. 1 claims from the Table 2 rows. */
+SurveyStats computeSurveyStats();
+
+/** One row of the paper's Table 5. */
+struct RelatedSystemRow {
+    std::string system;
+    bool fullyAutomatic = false;
+    std::string decision;   ///< "Static" or "Dynamic"
+    bool requiresVm = false;
+    std::string language;   ///< target language
+    std::string complexity; ///< "Simple" or "Complex"
+};
+
+/** The 14 systems of Table 5 (Native Offloader last). */
+const std::vector<RelatedSystemRow> &relatedSystems();
+
+} // namespace nol::core
+
+#endif // NOL_CORE_SURVEYDATA_HPP

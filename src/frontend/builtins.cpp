@@ -1,0 +1,128 @@
+#include "frontend/builtins.hpp"
+
+#include <map>
+#include <vector>
+
+namespace nol::frontend {
+
+const char *const kSizeofIntrinsic = "nol.sizeof";
+
+namespace {
+
+/** Compact signature spec: r = return, rest = params, '+' = variadic.
+ *  v void, b i8, h i16, i i32, l i64, f f32, d f64, p void*, s i8*. */
+struct BuiltinSig {
+    const char *sig;
+};
+
+const std::map<std::string, BuiltinSig> kBuiltins = {
+    // Allocation
+    {"malloc", {"pl"}},
+    {"calloc", {"pll"}},
+    {"realloc", {"ppl"}},
+    {"free", {"vp"}},
+    // Formatted and character I/O
+    {"printf", {"is+"}},
+    {"scanf", {"is+"}},
+    {"puts", {"is"}},
+    {"putchar", {"ii"}},
+    {"getchar", {"i"}},
+    // File streams (FILE* modeled as void*)
+    {"fopen", {"pss"}},
+    {"fclose", {"ip"}},
+    {"fread", {"lpllp"}},
+    {"fwrite", {"lpllp"}},
+    {"fgetc", {"ip"}},
+    {"fputc", {"iip"}},
+    {"feof", {"ip"}},
+    {"fseek", {"ipli"}},
+    {"ftell", {"lp"}},
+    // Math
+    {"sqrt", {"dd"}},
+    {"sin", {"dd"}},
+    {"cos", {"dd"}},
+    {"tan", {"dd"}},
+    {"exp", {"dd"}},
+    {"log", {"dd"}},
+    {"pow", {"ddd"}},
+    {"fabs", {"dd"}},
+    {"floor", {"dd"}},
+    {"ceil", {"dd"}},
+    {"fmod", {"ddd"}},
+    {"abs", {"ii"}},
+    {"labs", {"ll"}},
+    // Strings and memory
+    {"strlen", {"ls"}},
+    {"strcpy", {"sss"}},
+    {"strncpy", {"sssl"}},
+    {"strcmp", {"iss"}},
+    {"strncmp", {"issl"}},
+    {"strcat", {"sss"}},
+    {"memcpy", {"pppl"}},
+    {"memmove", {"pppl"}},
+    {"memset", {"ppil"}},
+    {"memcmp", {"ippl"}},
+    {"atoi", {"is"}},
+    {"atof", {"ds"}},
+    // Process / misc
+    {"exit", {"vi"}},
+    {"rand", {"i"}},
+    {"srand", {"vi"}},
+    // Internal intrinsics
+    {"nol.sizeof", {"l"}},
+    {"__machine_asm", {"vs"}},  // inline-assembly stand-in
+    {"__syscall", {"li+"}},     // raw system call stand-in
+};
+
+} // namespace
+
+bool
+isBuiltin(const std::string &name)
+{
+    return kBuiltins.count(name) != 0;
+}
+
+ir::Function *
+declareBuiltin(ir::Module &module, const std::string &name)
+{
+    if (ir::Function *existing = module.functionByName(name))
+        return existing;
+
+    auto it = kBuiltins.find(name);
+    NOL_ASSERT(it != kBuiltins.end(), "unknown builtin %s", name.c_str());
+
+    ir::TypeContext &types = module.types();
+    auto decode = [&](char c) -> const ir::Type * {
+        switch (c) {
+          case 'v': return types.voidTy();
+          case 'b': return types.i8();
+          case 'h': return types.i16();
+          case 'i': return types.i32();
+          case 'l': return types.i64();
+          case 'f': return types.f32();
+          case 'd': return types.f64();
+          case 'p': return types.pointerTo(types.i8());
+          case 's': return types.pointerTo(types.i8());
+          default: panic("bad builtin signature char '%c'", c);
+        }
+    };
+
+    const char *sig = it->second.sig;
+    const ir::Type *ret = decode(sig[0]);
+    std::vector<const ir::Type *> params;
+    bool variadic = false;
+    for (const char *c = sig + 1; *c != '\0'; ++c) {
+        if (*c == '+') {
+            variadic = true;
+            break;
+        }
+        params.push_back(decode(*c));
+    }
+    const ir::FunctionType *fn_type =
+        types.functionTy(ret, std::move(params), variadic);
+    ir::Function *fn = module.createFunction(name, fn_type, /*external=*/true);
+    fn->materializeArgs();
+    return fn;
+}
+
+} // namespace nol::frontend

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Registry of builtin (external) functions MiniC programs may call:
+ * libc-style allocation, formatted I/O, file streams, math and string
+ * helpers. Codegen declares a builtin into the module on first use;
+ * the interpreter implements them; the function filter classifies them
+ * (I/O vs pure vs machine-specific) per the paper's Sec. 3.1 rules.
+ */
+#ifndef NOL_FRONTEND_BUILTINS_HPP
+#define NOL_FRONTEND_BUILTINS_HPP
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace nol::frontend {
+
+/** True if @p name is a known builtin. */
+bool isBuiltin(const std::string &name);
+
+/**
+ * Declare builtin @p name into @p module (idempotent) and return the
+ * declaration. Panics if the name is not a builtin.
+ */
+ir::Function *declareBuiltin(ir::Module &module, const std::string &name);
+
+/** Name of the size-of intrinsic ("nol.sizeof"). */
+extern const char *const kSizeofIntrinsic;
+
+} // namespace nol::frontend
+
+#endif // NOL_FRONTEND_BUILTINS_HPP

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * AST → IR lowering for MiniC. Single pass: resolves types, checks
+ * semantics and emits alloca-form IR, recording structured LoopMeta on
+ * every loop so the profiler and target selector can treat loops as
+ * offload candidates.
+ */
+#ifndef NOL_FRONTEND_CODEGEN_HPP
+#define NOL_FRONTEND_CODEGEN_HPP
+
+#include <memory>
+
+#include "frontend/ast.hpp"
+#include "ir/module.hpp"
+
+namespace nol::frontend {
+
+/** Lower @p tu to a fresh IR module; throws FatalError on semantic errors. */
+std::unique_ptr<ir::Module> lowerToIR(const TranslationUnit &tu);
+
+/** Convenience: parse + lower in one call. */
+std::unique_ptr<ir::Module> compileSource(std::string_view source,
+                                          const std::string &unit_name);
+
+} // namespace nol::frontend
+
+#endif // NOL_FRONTEND_CODEGEN_HPP

@@ -1,0 +1,425 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "support/logging.hpp"
+
+namespace nol::frontend {
+
+const char *
+tokName(Tok tok)
+{
+    switch (tok) {
+      case Tok::Eof: return "<eof>";
+      case Tok::Identifier: return "identifier";
+      case Tok::IntLiteral: return "integer literal";
+      case Tok::FloatLiteral: return "float literal";
+      case Tok::StringLiteral: return "string literal";
+      case Tok::CharLiteral: return "char literal";
+      case Tok::KwVoid: return "void";
+      case Tok::KwChar: return "char";
+      case Tok::KwShort: return "short";
+      case Tok::KwInt: return "int";
+      case Tok::KwLong: return "long";
+      case Tok::KwFloat: return "float";
+      case Tok::KwDouble: return "double";
+      case Tok::KwUnsigned: return "unsigned";
+      case Tok::KwSigned: return "signed";
+      case Tok::KwConst: return "const";
+      case Tok::KwStruct: return "struct";
+      case Tok::KwTypedef: return "typedef";
+      case Tok::KwEnum: return "enum";
+      case Tok::KwIf: return "if";
+      case Tok::KwElse: return "else";
+      case Tok::KwWhile: return "while";
+      case Tok::KwFor: return "for";
+      case Tok::KwDo: return "do";
+      case Tok::KwSwitch: return "switch";
+      case Tok::KwCase: return "case";
+      case Tok::KwDefault: return "default";
+      case Tok::KwBreak: return "break";
+      case Tok::KwContinue: return "continue";
+      case Tok::KwReturn: return "return";
+      case Tok::KwSizeof: return "sizeof";
+      case Tok::KwExtern: return "extern";
+      case Tok::KwStatic: return "static";
+      case Tok::KwBool: return "bool";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::LBrace: return "{";
+      case Tok::RBrace: return "}";
+      case Tok::LBracket: return "[";
+      case Tok::RBracket: return "]";
+      case Tok::Semicolon: return ";";
+      case Tok::Comma: return ",";
+      case Tok::Dot: return ".";
+      case Tok::Arrow: return "->";
+      case Tok::Ellipsis: return "...";
+      case Tok::Question: return "?";
+      case Tok::Colon: return ":";
+      case Tok::Assign: return "=";
+      case Tok::PlusAssign: return "+=";
+      case Tok::MinusAssign: return "-=";
+      case Tok::StarAssign: return "*=";
+      case Tok::SlashAssign: return "/=";
+      case Tok::PercentAssign: return "%=";
+      case Tok::AmpAssign: return "&=";
+      case Tok::PipeAssign: return "|=";
+      case Tok::CaretAssign: return "^=";
+      case Tok::ShlAssign: return "<<=";
+      case Tok::ShrAssign: return ">>=";
+      case Tok::Plus: return "+";
+      case Tok::Minus: return "-";
+      case Tok::Star: return "*";
+      case Tok::Slash: return "/";
+      case Tok::Percent: return "%";
+      case Tok::PlusPlus: return "++";
+      case Tok::MinusMinus: return "--";
+      case Tok::Amp: return "&";
+      case Tok::Pipe: return "|";
+      case Tok::Caret: return "^";
+      case Tok::Tilde: return "~";
+      case Tok::Shl: return "<<";
+      case Tok::Shr: return ">>";
+      case Tok::AmpAmp: return "&&";
+      case Tok::PipePipe: return "||";
+      case Tok::Bang: return "!";
+      case Tok::Eq: return "==";
+      case Tok::Ne: return "!=";
+      case Tok::Lt: return "<";
+      case Tok::Gt: return ">";
+      case Tok::Le: return "<=";
+      case Tok::Ge: return ">=";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok> kKeywords = {
+    {"void", Tok::KwVoid},       {"char", Tok::KwChar},
+    {"short", Tok::KwShort},     {"int", Tok::KwInt},
+    {"long", Tok::KwLong},       {"float", Tok::KwFloat},
+    {"double", Tok::KwDouble},   {"unsigned", Tok::KwUnsigned},
+    {"signed", Tok::KwSigned},   {"const", Tok::KwConst},
+    {"struct", Tok::KwStruct},   {"typedef", Tok::KwTypedef},
+    {"enum", Tok::KwEnum},       {"if", Tok::KwIf},
+    {"else", Tok::KwElse},       {"while", Tok::KwWhile},
+    {"for", Tok::KwFor},         {"do", Tok::KwDo},
+    {"switch", Tok::KwSwitch},   {"case", Tok::KwCase},
+    {"default", Tok::KwDefault}, {"break", Tok::KwBreak},
+    {"continue", Tok::KwContinue}, {"return", Tok::KwReturn},
+    {"sizeof", Tok::KwSizeof},   {"extern", Tok::KwExtern},
+    {"static", Tok::KwStatic},   {"bool", Tok::KwBool},
+};
+
+/** Stateful cursor over the source text. */
+class Lexer
+{
+  public:
+    Lexer(std::string_view source, const std::string &file)
+        : src_(source), file_(file)
+    {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        while (true) {
+            skipTrivia();
+            Token tok = next();
+            out.push_back(tok);
+            if (tok.kind == Tok::Eof)
+                break;
+        }
+        return out;
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &what)
+    {
+        fatal("%s:%d:%d: %s", file_.c_str(), line_, col_, what.c_str());
+    }
+
+    bool atEnd() const { return pos_ >= src_.size(); }
+    char peek(size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    bool
+    match(char c)
+    {
+        if (peek() == c) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipTrivia()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (!atEnd() && peek() != '\n')
+                    advance();
+            } else if (c == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+                    advance();
+                if (atEnd())
+                    error("unterminated block comment");
+                advance();
+                advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    Token
+    make(Tok kind)
+    {
+        Token tok;
+        tok.kind = kind;
+        tok.line = tok_line_;
+        tok.col = tok_col_;
+        return tok;
+    }
+
+    char
+    decodeEscape()
+    {
+        char c = advance();
+        switch (c) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+          default: error(std::string("unknown escape \\") + c);
+        }
+    }
+
+    Token
+    next()
+    {
+        tok_line_ = line_;
+        tok_col_ = col_;
+        if (atEnd())
+            return make(Tok::Eof);
+
+        char c = advance();
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string ident(1, c);
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_') {
+                ident += advance();
+            }
+            auto it = kKeywords.find(ident);
+            if (it != kKeywords.end())
+                return make(it->second);
+            Token tok = make(Tok::Identifier);
+            tok.text = std::move(ident);
+            return tok;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            return number(c);
+
+        if (c == '"') {
+            std::string value;
+            while (!atEnd() && peek() != '"') {
+                char ch = advance();
+                value += ch == '\\' ? decodeEscape() : ch;
+            }
+            if (atEnd())
+                error("unterminated string literal");
+            advance(); // closing quote
+            Token tok = make(Tok::StringLiteral);
+            tok.strValue = std::move(value);
+            return tok;
+        }
+
+        if (c == '\'') {
+            if (atEnd())
+                error("unterminated char literal");
+            char ch = advance();
+            if (ch == '\\')
+                ch = decodeEscape();
+            if (!match('\''))
+                error("unterminated char literal");
+            Token tok = make(Tok::CharLiteral);
+            tok.intValue = static_cast<unsigned char>(ch);
+            return tok;
+        }
+
+        switch (c) {
+          case '(': return make(Tok::LParen);
+          case ')': return make(Tok::RParen);
+          case '{': return make(Tok::LBrace);
+          case '}': return make(Tok::RBrace);
+          case '[': return make(Tok::LBracket);
+          case ']': return make(Tok::RBracket);
+          case ';': return make(Tok::Semicolon);
+          case ',': return make(Tok::Comma);
+          case '?': return make(Tok::Question);
+          case ':': return make(Tok::Colon);
+          case '~': return make(Tok::Tilde);
+          case '.':
+            if (peek() == '.' && peek(1) == '.') {
+                advance();
+                advance();
+                return make(Tok::Ellipsis);
+            }
+            return make(Tok::Dot);
+          case '+':
+            if (match('+')) return make(Tok::PlusPlus);
+            if (match('=')) return make(Tok::PlusAssign);
+            return make(Tok::Plus);
+          case '-':
+            if (match('-')) return make(Tok::MinusMinus);
+            if (match('=')) return make(Tok::MinusAssign);
+            if (match('>')) return make(Tok::Arrow);
+            return make(Tok::Minus);
+          case '*':
+            if (match('=')) return make(Tok::StarAssign);
+            return make(Tok::Star);
+          case '/':
+            if (match('=')) return make(Tok::SlashAssign);
+            return make(Tok::Slash);
+          case '%':
+            if (match('=')) return make(Tok::PercentAssign);
+            return make(Tok::Percent);
+          case '&':
+            if (match('&')) return make(Tok::AmpAmp);
+            if (match('=')) return make(Tok::AmpAssign);
+            return make(Tok::Amp);
+          case '|':
+            if (match('|')) return make(Tok::PipePipe);
+            if (match('=')) return make(Tok::PipeAssign);
+            return make(Tok::Pipe);
+          case '^':
+            if (match('=')) return make(Tok::CaretAssign);
+            return make(Tok::Caret);
+          case '!':
+            if (match('=')) return make(Tok::Ne);
+            return make(Tok::Bang);
+          case '=':
+            if (match('=')) return make(Tok::Eq);
+            return make(Tok::Assign);
+          case '<':
+            if (match('<'))
+                return match('=') ? make(Tok::ShlAssign) : make(Tok::Shl);
+            if (match('=')) return make(Tok::Le);
+            return make(Tok::Lt);
+          case '>':
+            if (match('>'))
+                return match('=') ? make(Tok::ShrAssign) : make(Tok::Shr);
+            if (match('=')) return make(Tok::Ge);
+            return make(Tok::Gt);
+          default:
+            error(strformat("unexpected character '%c' (0x%02x)", c, c));
+        }
+    }
+
+    Token
+    number(char first)
+    {
+        std::string text(1, first);
+        bool is_float = false;
+
+        if (first == '0' && (peek() == 'x' || peek() == 'X')) {
+            text += advance();
+            while (std::isxdigit(static_cast<unsigned char>(peek())))
+                text += advance();
+            Token tok = make(Tok::IntLiteral);
+            tok.intValue = static_cast<int64_t>(
+                std::strtoull(text.c_str(), nullptr, 16));
+            consumeIntSuffix();
+            return tok;
+        }
+
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            text += advance();
+        if (peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            is_float = true;
+            text += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                text += advance();
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            is_float = true;
+            text += advance();
+            if (peek() == '+' || peek() == '-')
+                text += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                text += advance();
+        }
+
+        if (is_float) {
+            if (peek() == 'f' || peek() == 'F')
+                advance();
+            Token tok = make(Tok::FloatLiteral);
+            tok.floatValue = std::strtod(text.c_str(), nullptr);
+            return tok;
+        }
+        Token tok = make(Tok::IntLiteral);
+        tok.intValue =
+            static_cast<int64_t>(std::strtoull(text.c_str(), nullptr, 10));
+        consumeIntSuffix();
+        return tok;
+    }
+
+    void
+    consumeIntSuffix()
+    {
+        while (peek() == 'u' || peek() == 'U' || peek() == 'l' ||
+               peek() == 'L') {
+            advance();
+        }
+    }
+
+    std::string_view src_;
+    std::string file_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    int tok_line_ = 1;
+    int tok_col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(std::string_view source, const std::string &file_name)
+{
+    return Lexer(source, file_name).run();
+}
+
+} // namespace nol::frontend

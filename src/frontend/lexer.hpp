@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Hand-written lexer for MiniC. Produces the full token stream up
+ * front; errors are reported with line/column as FatalError (bad user
+ * source is a user error, per the logging conventions).
+ */
+#ifndef NOL_FRONTEND_LEXER_HPP
+#define NOL_FRONTEND_LEXER_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+
+namespace nol::frontend {
+
+/** Lex @p source completely; throws FatalError on malformed input. */
+std::vector<Token> lex(std::string_view source, const std::string &file_name);
+
+} // namespace nol::frontend
+
+#endif // NOL_FRONTEND_LEXER_HPP

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC. Tracks typedef/struct/enum names
+ * to disambiguate declarations from expressions (the classic C lexer
+ * hack, kept inside the parser).
+ */
+#ifndef NOL_FRONTEND_PARSER_HPP
+#define NOL_FRONTEND_PARSER_HPP
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "frontend/ast.hpp"
+
+namespace nol::frontend {
+
+/** Parse @p source into an AST; throws FatalError on syntax errors. */
+std::unique_ptr<TranslationUnit> parse(std::string_view source,
+                                       const std::string &unit_name);
+
+} // namespace nol::frontend
+
+#endif // NOL_FRONTEND_PARSER_HPP

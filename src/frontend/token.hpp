@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Token definitions for the MiniC front end. MiniC is the C subset the
+ * framework's workloads are written in; it stands in for the paper's
+ * "front-end compiler" box (Fig. 1) that turns mobile application
+ * source into IR.
+ */
+#ifndef NOL_FRONTEND_TOKEN_HPP
+#define NOL_FRONTEND_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nol::frontend {
+
+/** All MiniC token kinds. */
+enum class Tok {
+    Eof,
+    Identifier,
+    IntLiteral,
+    FloatLiteral,
+    StringLiteral,
+    CharLiteral,
+
+    // Keywords
+    KwVoid, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble,
+    KwUnsigned, KwSigned, KwConst, KwStruct, KwTypedef, KwEnum,
+    KwIf, KwElse, KwWhile, KwFor, KwDo, KwSwitch, KwCase, KwDefault,
+    KwBreak, KwContinue, KwReturn, KwSizeof, KwExtern, KwStatic, KwBool,
+
+    // Punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semicolon, Comma, Dot, Arrow, Ellipsis,
+    Question, Colon,
+
+    // Operators
+    Assign,            // =
+    PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+    AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+    Plus, Minus, Star, Slash, Percent,
+    PlusPlus, MinusMinus,
+    Amp, Pipe, Caret, Tilde, Shl, Shr,
+    AmpAmp, PipePipe, Bang,
+    Eq, Ne, Lt, Gt, Le, Ge,
+};
+
+/** Printable name of a token kind (for diagnostics). */
+const char *tokName(Tok tok);
+
+/** A lexed token with source position. */
+struct Token {
+    Tok kind = Tok::Eof;
+    std::string text;      ///< identifier/literal spelling
+    int64_t intValue = 0;  ///< for IntLiteral / CharLiteral
+    double floatValue = 0; ///< for FloatLiteral
+    std::string strValue;  ///< decoded string literal bytes (no NUL)
+    int line = 0;
+    int col = 0;
+
+    bool is(Tok k) const { return kind == k; }
+};
+
+} // namespace nol::frontend
+
+#endif // NOL_FRONTEND_TOKEN_HPP

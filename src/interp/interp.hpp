@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The IR interpreter — the stand-in for "back-end compiler + CPU" in
+ * the reproduction. Each machine runs its own Interp over its own
+ * module clone; all memory traffic goes through the machine's paged
+ * memory with the *effective* ABI (native, or the unified mobile ABI
+ * after memory unification), which is precisely how the paper's
+ * address-size conversion and endianness translation behave.
+ */
+#ifndef NOL_INTERP_INTERP_HPP
+#define NOL_INTERP_INTERP_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "interp/loader.hpp"
+#include "interp/rtval.hpp"
+#include "sim/simmachine.hpp"
+
+namespace nol::interp {
+
+class Interp;
+
+/** Thrown when the guest program calls exit(). */
+struct GuestExit {
+    int64_t code = 0;
+};
+
+/** Handles calls that leave the IR world (builtins / remote I/O). */
+class ExecEnv
+{
+  public:
+    virtual ~ExecEnv() = default;
+
+    /** Execute external call @p call with evaluated @p args. */
+    virtual RtVal callExternal(Interp &interp, const ir::Instruction &call,
+                               std::vector<RtVal> &args) = 0;
+
+    /** A MachineAsm instruction executed (default: allowed, no-op). */
+    virtual void
+    onMachineAsm(Interp &interp, const ir::Instruction &inst)
+    {
+        (void)interp;
+        (void)inst;
+    }
+};
+
+/** Optional observation hooks (profiling). */
+struct InterpHooks {
+    /** Entering @p to (from @p from; nullptr at function entry). */
+    std::function<void(const ir::Function *, const ir::BasicBlock *to,
+                       const ir::BasicBlock *from)>
+        blockEntry;
+
+    /** Function call boundary: @p entering true on entry. */
+    std::function<void(const ir::Function *, bool entering)> callBoundary;
+};
+
+/** Executes IR functions on one simulated machine. */
+class Interp
+{
+  public:
+    Interp(sim::SimMachine &machine, const ir::Module &module,
+           const ProgramImage &image, ExecEnv &env);
+
+    /** Run @p fn with @p args; returns its return value. */
+    RtVal call(ir::Function *fn, const std::vector<RtVal> &args);
+
+    // --- Configuration ------------------------------------------------
+    /** Cost charged on top of each indirect call (fn-ptr translation). */
+    void setIndirectCallExtraCost(uint64_t cost)
+    {
+        indirect_extra_cost_ = cost;
+    }
+
+    /** Abort execution after this many instructions (runaway guard). */
+    void setStepLimit(uint64_t limit) { step_limit_ = limit; }
+
+    InterpHooks &hooks() { return hooks_; }
+
+    // --- Accessors (used by ExecEnv implementations) ---------------------
+    sim::SimMachine &machine() { return machine_; }
+    const ir::Module &module() const { return module_; }
+    const ProgramImage &image() const { return image_; }
+    const ir::DataLayout &layout() const { return dl_; }
+
+    /** Effective pointer size in bytes (unified or native). */
+    uint32_t ptrSize() const { return dl_.spec().pointerSize; }
+
+    /** Effective byte order. */
+    arch::Endianness endian() const { return dl_.spec().endian; }
+
+    /** Instructions executed so far. */
+    uint64_t steps() const { return steps_; }
+
+    /** Indirect calls executed (function-pointer dispatch count). */
+    uint64_t indirectCalls() const { return indirect_calls_; }
+
+    /** Cost units charged for function-pointer translation so far. */
+    uint64_t indirectExtraUnits() const
+    {
+        return indirect_calls_ * indirect_extra_cost_;
+    }
+
+    /** Current guest call depth. */
+    int depth() const { return depth_; }
+
+    // --- Guest memory helpers -----------------------------------------
+    /** NUL-terminated string at @p addr (bounded at 1 MiB). */
+    std::string readCString(uint64_t addr);
+
+    void readBytes(uint64_t addr, uint64_t size, uint8_t *out);
+    void writeBytes(uint64_t addr, uint64_t size, const uint8_t *src);
+
+    /** Scalar of @p size bytes at @p addr under the effective endian. */
+    uint64_t loadScalarAt(uint64_t addr, uint32_t size);
+    void storeScalarAt(uint64_t addr, uint32_t size, uint64_t value);
+
+  private:
+    struct Frame;
+
+    RtVal execFunction(ir::Function *fn, const std::vector<RtVal> &args);
+    RtVal evalValue(const ir::Value *v, Frame &frame);
+    RtVal execCall(const ir::Instruction &inst, ir::Function *callee,
+                   Frame &frame);
+
+    sim::SimMachine &machine_;
+    const ir::Module &module_;
+    const ProgramImage &image_;
+    ExecEnv &env_;
+    ir::DataLayout dl_;
+    InterpHooks hooks_;
+    uint64_t sp_;
+    uint64_t steps_ = 0;
+    uint64_t step_limit_ = 4'000'000'000ull;
+    uint64_t indirect_extra_cost_ = 0;
+    uint64_t indirect_calls_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace nol::interp
+
+#endif // NOL_INTERP_INTERP_HPP

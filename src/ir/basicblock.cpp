@@ -1,0 +1,68 @@
+#include "ir/basicblock.hpp"
+
+namespace nol::ir {
+
+Instruction *
+BasicBlock::append(std::unique_ptr<Instruction> inst)
+{
+    inst->setParent(this);
+    insts_.push_back(std::move(inst));
+    return insts_.back().get();
+}
+
+Instruction *
+BasicBlock::insertAt(size_t idx, std::unique_ptr<Instruction> inst)
+{
+    NOL_ASSERT(idx <= insts_.size(), "insert position %zu out of range", idx);
+    inst->setParent(this);
+    auto it = insts_.insert(insts_.begin() + static_cast<ptrdiff_t>(idx),
+                            std::move(inst));
+    return it->get();
+}
+
+void
+BasicBlock::erase(size_t idx)
+{
+    NOL_ASSERT(idx < insts_.size(), "erase position %zu out of range", idx);
+    insts_.erase(insts_.begin() + static_cast<ptrdiff_t>(idx));
+}
+
+std::unique_ptr<Instruction>
+BasicBlock::take(size_t idx)
+{
+    NOL_ASSERT(idx < insts_.size(), "take position %zu out of range", idx);
+    std::unique_ptr<Instruction> inst = std::move(insts_[idx]);
+    insts_.erase(insts_.begin() + static_cast<ptrdiff_t>(idx));
+    inst->setParent(nullptr);
+    return inst;
+}
+
+int
+BasicBlock::indexOf(const Instruction *inst) const
+{
+    for (size_t i = 0; i < insts_.size(); ++i) {
+        if (insts_[i].get() == inst)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Instruction *
+BasicBlock::terminator() const
+{
+    if (insts_.empty())
+        return nullptr;
+    Instruction *last = insts_.back().get();
+    return last->isTerminator() ? last : nullptr;
+}
+
+std::vector<BasicBlock *>
+BasicBlock::successors() const
+{
+    Instruction *term = terminator();
+    if (term == nullptr)
+        return {};
+    return term->successors();
+}
+
+} // namespace nol::ir

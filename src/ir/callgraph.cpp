@@ -1,0 +1,106 @@
+#include "ir/callgraph.hpp"
+
+namespace nol::ir {
+
+CallGraph::CallGraph(const Module &module) : module_(module)
+{
+    for (const auto &fn : module.functions())
+        scanFunction(*fn);
+
+    // Function pointers stored in global initializers (e.g. the chess
+    // example's evals[] table) also escape.
+    for (const auto &gv : module.globals()) {
+        std::vector<const Initializer *> work{&gv->init()};
+        while (!work.empty()) {
+            const Initializer *init = work.back();
+            work.pop_back();
+            if (init->kind == Initializer::Kind::Function &&
+                init->function != nullptr) {
+                address_taken_.insert(const_cast<Function *>(init->function));
+            }
+            for (const auto &elem : init->elems)
+                work.push_back(&elem);
+        }
+    }
+}
+
+void
+CallGraph::scanFunction(Function &fn)
+{
+    callees_[&fn]; // ensure presence
+    callers_[&fn];
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == Opcode::Call) {
+                Function *callee = inst->callee();
+                callees_[&fn].insert(callee);
+                callers_[callee].insert(&fn);
+                // A function passed as an *argument* escapes.
+                for (Value *op : inst->operands())
+                    noteAddressTaken(op);
+            } else if (inst->op() == Opcode::CallIndirect) {
+                has_indirect_.insert(&fn);
+                for (size_t i = 1; i < inst->numOperands(); ++i)
+                    noteAddressTaken(inst->operand(i));
+            } else {
+                // A function used as any other operand escapes (stores
+                // into fn-pointer tables etc.).
+                for (Value *op : inst->operands())
+                    noteAddressTaken(op);
+            }
+        }
+    }
+}
+
+void
+CallGraph::noteAddressTaken(const Value *v)
+{
+    if (v->valueKind() == Value::Kind::Function) {
+        address_taken_.insert(
+            const_cast<Function *>(static_cast<const Function *>(v)));
+    }
+}
+
+const std::set<Function *> &
+CallGraph::callees(const Function *fn) const
+{
+    auto it = callees_.find(fn);
+    return it == callees_.end() ? empty_ : it->second;
+}
+
+const std::set<Function *> &
+CallGraph::callers(const Function *fn) const
+{
+    auto it = callers_.find(fn);
+    return it == callers_.end() ? empty_ : it->second;
+}
+
+bool
+CallGraph::hasIndirectCall(const Function *fn) const
+{
+    return has_indirect_.count(fn) != 0;
+}
+
+std::set<Function *>
+CallGraph::reachableFrom(const std::vector<Function *> &roots) const
+{
+    std::set<Function *> seen;
+    std::vector<Function *> work(roots.begin(), roots.end());
+    bool indirect_expanded = false;
+    while (!work.empty()) {
+        Function *fn = work.back();
+        work.pop_back();
+        if (!seen.insert(fn).second)
+            continue;
+        for (Function *callee : callees(fn))
+            work.push_back(callee);
+        if (!indirect_expanded && hasIndirectCall(fn)) {
+            indirect_expanded = true;
+            for (Function *target : address_taken_)
+                work.push_back(target);
+        }
+    }
+    return seen;
+}
+
+} // namespace nol::ir

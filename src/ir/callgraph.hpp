@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Call graph over a module: direct call edges plus a conservative
+ * "address taken" set for indirect calls. Used by the function filter
+ * (machine-specific taint propagates up the graph), the partitioner's
+ * unused-function removal, and the referenced-global analysis.
+ */
+#ifndef NOL_IR_CALLGRAPH_HPP
+#define NOL_IR_CALLGRAPH_HPP
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace nol::ir {
+
+/** Immutable call graph snapshot of one module. */
+class CallGraph
+{
+  public:
+    explicit CallGraph(const Module &module);
+
+    /** Functions directly called by @p fn. */
+    const std::set<Function *> &callees(const Function *fn) const;
+
+    /** Functions that directly call @p fn. */
+    const std::set<Function *> &callers(const Function *fn) const;
+
+    /** True if @p fn contains any indirect call. */
+    bool hasIndirectCall(const Function *fn) const;
+
+    /** Functions whose address escapes (possible indirect-call targets). */
+    const std::set<Function *> &addressTaken() const { return address_taken_; }
+
+    /**
+     * Functions reachable from @p roots via direct calls; if any
+     * reachable function makes an indirect call, all address-taken
+     * functions (and their reachable sets) are included too.
+     */
+    std::set<Function *> reachableFrom(const std::vector<Function *> &roots) const;
+
+  private:
+    void scanFunction(Function &fn);
+    void noteAddressTaken(const Value *v);
+
+    const Module &module_;
+    std::map<const Function *, std::set<Function *>> callees_;
+    std::map<const Function *, std::set<Function *>> callers_;
+    std::set<const Function *> has_indirect_;
+    std::set<Function *> address_taken_;
+    std::set<Function *> empty_;
+};
+
+} // namespace nol::ir
+
+#endif // NOL_IR_CALLGRAPH_HPP

@@ -1,0 +1,57 @@
+#include "ir/cfgutils.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace nol::ir {
+
+void
+removeUnreachableBlocks(Function &fn)
+{
+    if (!fn.hasBody())
+        return;
+
+    std::set<BasicBlock *> reachable;
+    std::vector<BasicBlock *> work{fn.entry()};
+    while (!work.empty()) {
+        BasicBlock *bb = work.back();
+        work.pop_back();
+        if (!reachable.insert(bb).second)
+            continue;
+        for (BasicBlock *succ : bb->successors())
+            work.push_back(succ);
+    }
+
+    std::vector<BasicBlock *> dead;
+    for (const auto &bb : fn.blocks()) {
+        if (reachable.count(bb.get()) == 0)
+            dead.push_back(bb.get());
+    }
+    for (BasicBlock *bb : dead)
+        fn.removeBlock(bb); // unique_ptr destroyed on return
+
+    // Repair loop metadata.
+    auto &loops = fn.loops();
+    loops.erase(std::remove_if(loops.begin(), loops.end(),
+                               [&](const LoopMeta &meta) {
+                                   return reachable.count(meta.header) == 0;
+                               }),
+                loops.end());
+    for (LoopMeta &meta : loops) {
+        meta.blocks.erase(
+            std::remove_if(meta.blocks.begin(), meta.blocks.end(),
+                           [&](BasicBlock *bb) {
+                               return reachable.count(bb) == 0;
+                           }),
+            meta.blocks.end());
+        if (meta.exit != nullptr && reachable.count(meta.exit) == 0)
+            meta.exit = nullptr;
+        if (meta.preheader != nullptr &&
+            reachable.count(meta.preheader) == 0) {
+            meta.preheader = nullptr;
+        }
+    }
+}
+
+} // namespace nol::ir

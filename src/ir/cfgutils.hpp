@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Small CFG utilities shared by the front end and the compiler passes.
+ */
+#ifndef NOL_IR_CFGUTILS_HPP
+#define NOL_IR_CFGUTILS_HPP
+
+#include "ir/function.hpp"
+
+namespace nol::ir {
+
+/**
+ * Delete every block not reachable from the entry (dead-code landing
+ * pads emitted after break/continue/return). Loop metadata is repaired:
+ * unreachable blocks are dropped from block lists, and loops whose
+ * header died are removed entirely.
+ */
+void removeUnreachableBlocks(Function &fn);
+
+} // namespace nol::ir
+
+#endif // NOL_IR_CFGUTILS_HPP

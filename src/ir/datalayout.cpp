@@ -1,0 +1,106 @@
+#include "ir/datalayout.hpp"
+
+namespace nol::ir {
+
+arch::ScalarKind
+DataLayout::scalarKind(const Type *type) const
+{
+    if (type->isPointer() || type->isFunction())
+        return arch::ScalarKind::Ptr;
+    if (auto *it = dynamic_cast<const IntType *>(type)) {
+        switch (it->bits()) {
+          case 1:
+          case 8: return arch::ScalarKind::I8;
+          case 16: return arch::ScalarKind::I16;
+          case 32: return arch::ScalarKind::I32;
+          case 64: return arch::ScalarKind::I64;
+        }
+    }
+    if (auto *ft = dynamic_cast<const FloatType *>(type))
+        return ft->bits() == 32 ? arch::ScalarKind::F32 : arch::ScalarKind::F64;
+    panic("type %s has no scalar kind", type->str().c_str());
+}
+
+uint64_t
+DataLayout::sizeOf(const Type *type) const
+{
+    switch (type->kind()) {
+      case Type::Kind::Void:
+        return 0;
+      case Type::Kind::Int:
+      case Type::Kind::Float:
+      case Type::Kind::Pointer:
+      case Type::Kind::Function:
+        return spec_.sizeOf(scalarKind(type));
+      case Type::Kind::Array: {
+        auto *arr = static_cast<const ArrayType *>(type);
+        return sizeOf(arr->element()) * arr->count();
+      }
+      case Type::Kind::Struct: {
+        auto *st = static_cast<const StructType *>(type);
+        if (st->hasExplicitLayout())
+            return st->explicitLayout().size;
+        return naturalLayout(st).size;
+      }
+    }
+    panic("unknown type kind");
+}
+
+uint32_t
+DataLayout::alignOf(const Type *type) const
+{
+    switch (type->kind()) {
+      case Type::Kind::Void:
+        return 1;
+      case Type::Kind::Int:
+      case Type::Kind::Float:
+      case Type::Kind::Pointer:
+      case Type::Kind::Function:
+        return spec_.alignOf(scalarKind(type));
+      case Type::Kind::Array:
+        return alignOf(static_cast<const ArrayType *>(type)->element());
+      case Type::Kind::Struct: {
+        auto *st = static_cast<const StructType *>(type);
+        if (st->hasExplicitLayout())
+            return st->explicitLayout().alignment;
+        uint32_t align = 1;
+        for (const auto &field : st->fields())
+            align = std::max(align, alignOf(field.type));
+        return align;
+      }
+    }
+    panic("unknown type kind");
+}
+
+uint64_t
+DataLayout::fieldOffset(const StructType *st, size_t idx) const
+{
+    NOL_ASSERT(idx < st->numFields(), "field index %zu out of range", idx);
+    if (st->hasExplicitLayout())
+        return st->explicitLayout().offsets[idx];
+    return naturalLayout(st).offsets[idx];
+}
+
+StructLayout
+DataLayout::naturalLayout(const StructType *st) const
+{
+    StructLayout layout;
+    uint64_t offset = 0;
+    uint32_t max_align = 1;
+    for (const auto &field : st->fields()) {
+        // Explicit pins on *nested* structs still apply: unification
+        // pins every struct, so nesting stays consistent.
+        uint32_t align = alignOf(field.type);
+        max_align = std::max(max_align, align);
+        offset = alignUp(offset, align);
+        layout.offsets.push_back(offset);
+        offset += sizeOf(field.type);
+    }
+    layout.size = alignUp(offset, max_align);
+    if (layout.size == 0)
+        layout.size = 1; // empty structs still occupy storage
+    layout.alignment = max_align;
+    return layout;
+}
+
+} // namespace nol::ir

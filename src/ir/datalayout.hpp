@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-architecture data layout computation. Given an ArchSpec, the
+ * DataLayout answers size/alignment/field-offset questions for every IR
+ * type. Structs with an explicit (unified) layout short-circuit to that
+ * layout, which is how the memory unification pass forces the mobile
+ * layout onto the server binary (paper Sec. 3.2, Fig. 4).
+ */
+#ifndef NOL_IR_DATALAYOUT_HPP
+#define NOL_IR_DATALAYOUT_HPP
+
+#include "arch/archspec.hpp"
+#include "ir/type.hpp"
+
+namespace nol::ir {
+
+/** Layout oracle for one architecture. Cheap to construct and copy. */
+class DataLayout
+{
+  public:
+    explicit DataLayout(arch::ArchSpec spec) : spec_(std::move(spec)) {}
+
+    const arch::ArchSpec &spec() const { return spec_; }
+
+    /** Storage size of @p type in bytes. */
+    uint64_t sizeOf(const Type *type) const;
+
+    /** ABI alignment of @p type in bytes. */
+    uint32_t alignOf(const Type *type) const;
+
+    /** Byte offset of field @p idx of @p st on this architecture. */
+    uint64_t fieldOffset(const StructType *st, size_t idx) const;
+
+    /**
+     * Compute the natural (ABI) layout of @p st on this architecture,
+     * ignoring any explicit layout pin. Used by the memory unifier to
+     * derive the mobile layout before pinning it.
+     */
+    StructLayout naturalLayout(const StructType *st) const;
+
+    /** Scalar storage class of a scalar @p type (int/float/pointer). */
+    arch::ScalarKind scalarKind(const Type *type) const;
+
+  private:
+    arch::ArchSpec spec_;
+};
+
+/** Round @p offset up to a multiple of @p align. */
+constexpr uint64_t
+alignUp(uint64_t offset, uint64_t align)
+{
+    return (offset + align - 1) / align * align;
+}
+
+} // namespace nol::ir
+
+#endif // NOL_IR_DATALAYOUT_HPP

@@ -1,0 +1,159 @@
+#include "ir/loopinfo.hpp"
+
+#include <algorithm>
+
+namespace nol::ir {
+
+std::map<const BasicBlock *, std::vector<BasicBlock *>>
+predecessors(const Function &fn)
+{
+    std::map<const BasicBlock *, std::vector<BasicBlock *>> preds;
+    for (const auto &bb : fn.blocks()) {
+        preds[bb.get()]; // ensure presence
+        for (BasicBlock *succ : bb->successors())
+            preds[succ].push_back(bb.get());
+    }
+    return preds;
+}
+
+namespace {
+
+void
+postOrder(BasicBlock *bb, std::set<const BasicBlock *> &seen,
+          std::vector<BasicBlock *> &order)
+{
+    if (!seen.insert(bb).second)
+        return;
+    for (BasicBlock *succ : bb->successors())
+        postOrder(succ, seen, order);
+    order.push_back(bb);
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const Function &fn)
+{
+    NOL_ASSERT(fn.hasBody(), "dominator tree of bodyless function %s",
+               fn.name().c_str());
+
+    std::set<const BasicBlock *> seen;
+    std::vector<BasicBlock *> post;
+    postOrder(fn.entry(), seen, post);
+    rpo_.assign(post.rbegin(), post.rend());
+    for (size_t i = 0; i < rpo_.size(); ++i)
+        rpo_index_[rpo_[i]] = static_cast<int>(i);
+
+    auto preds = predecessors(fn);
+
+    // Cooper–Harvey–Kennedy iterative algorithm.
+    auto intersect = [&](BasicBlock *a, BasicBlock *b) {
+        while (a != b) {
+            while (rpo_index_.at(a) > rpo_index_.at(b))
+                a = idom_.at(a);
+            while (rpo_index_.at(b) > rpo_index_.at(a))
+                b = idom_.at(b);
+        }
+        return a;
+    };
+
+    BasicBlock *entry = fn.entry();
+    idom_[entry] = entry;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BasicBlock *bb : rpo_) {
+            if (bb == entry)
+                continue;
+            BasicBlock *new_idom = nullptr;
+            for (BasicBlock *pred : preds[bb]) {
+                if (idom_.count(pred) == 0)
+                    continue; // unreachable or not yet processed
+                new_idom = new_idom == nullptr ? pred
+                                               : intersect(pred, new_idom);
+            }
+            if (new_idom == nullptr)
+                continue;
+            auto it = idom_.find(bb);
+            if (it == idom_.end() || it->second != new_idom) {
+                idom_[bb] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // Normalize: the entry has no immediate dominator.
+    idom_[entry] = nullptr;
+}
+
+BasicBlock *
+DominatorTree::idom(const BasicBlock *bb) const
+{
+    auto it = idom_.find(bb);
+    return it == idom_.end() ? nullptr : it->second;
+}
+
+bool
+DominatorTree::dominates(const BasicBlock *a, const BasicBlock *b) const
+{
+    const BasicBlock *cur = b;
+    while (cur != nullptr) {
+        if (cur == a)
+            return true;
+        cur = idom(cur);
+    }
+    return false;
+}
+
+std::vector<NaturalLoop>
+findNaturalLoops(const Function &fn)
+{
+    std::vector<NaturalLoop> loops;
+    if (!fn.hasBody())
+        return loops;
+
+    DominatorTree dom(fn);
+    auto preds = predecessors(fn);
+
+    // Find back edges: tail -> header where header dominates tail.
+    std::map<BasicBlock *, NaturalLoop> by_header;
+    for (const auto &bb : fn.blocks()) {
+        for (BasicBlock *succ : bb->successors()) {
+            if (dom.dominates(succ, bb.get())) {
+                NaturalLoop &loop = by_header[succ];
+                loop.header = succ;
+                loop.latches.push_back(bb.get());
+            }
+        }
+    }
+
+    // Loop body = header plus everything that reaches a latch without
+    // passing through the header.
+    for (auto &[header, loop] : by_header) {
+        loop.blocks.insert(header);
+        std::vector<BasicBlock *> work(loop.latches.begin(),
+                                       loop.latches.end());
+        while (!work.empty()) {
+            BasicBlock *bb = work.back();
+            work.pop_back();
+            if (!loop.blocks.insert(bb).second)
+                continue;
+            for (BasicBlock *pred : preds[bb])
+                work.push_back(pred);
+        }
+        for (BasicBlock *bb : loop.blocks) {
+            for (BasicBlock *succ : bb->successors()) {
+                if (loop.blocks.count(succ) == 0)
+                    loop.exitTargets.insert(succ);
+            }
+        }
+        loops.push_back(loop);
+    }
+
+    // Stable order: by position of header in the function.
+    std::sort(loops.begin(), loops.end(),
+              [&](const NaturalLoop &a, const NaturalLoop &b) {
+                  return fn.blockIndex(a.header) < fn.blockIndex(b.header);
+              });
+    return loops;
+}
+
+} // namespace nol::ir

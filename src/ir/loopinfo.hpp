@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dominator tree and natural-loop detection computed from the CFG.
+ * The front end already records structured LoopMeta during lowering;
+ * this analysis re-derives loops from first principles so transformed
+ * IR (and hand-built IR in tests) can be checked against it.
+ */
+#ifndef NOL_IR_LOOPINFO_HPP
+#define NOL_IR_LOOPINFO_HPP
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace nol::ir {
+
+/** One natural loop discovered from back edges. */
+struct NaturalLoop {
+    BasicBlock *header = nullptr;
+    std::set<BasicBlock *> blocks;        ///< includes the header
+    std::set<BasicBlock *> exitTargets;   ///< blocks outside, jumped to from inside
+    std::vector<BasicBlock *> latches;    ///< sources of back edges
+};
+
+/** Dominator analysis over one function's CFG. */
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(const Function &fn);
+
+    /** Immediate dominator of @p bb (nullptr for the entry). */
+    BasicBlock *idom(const BasicBlock *bb) const;
+
+    /** True if @p a dominates @p b (reflexive). */
+    bool dominates(const BasicBlock *a, const BasicBlock *b) const;
+
+    /** Blocks in reverse post order. */
+    const std::vector<BasicBlock *> &rpo() const { return rpo_; }
+
+  private:
+    std::map<const BasicBlock *, BasicBlock *> idom_;
+    std::map<const BasicBlock *, int> rpo_index_;
+    std::vector<BasicBlock *> rpo_;
+};
+
+/** Natural loops of @p fn, outermost first within each header. */
+std::vector<NaturalLoop> findNaturalLoops(const Function &fn);
+
+/** Predecessor map of @p fn's CFG. */
+std::map<const BasicBlock *, std::vector<BasicBlock *>>
+predecessors(const Function &fn);
+
+} // namespace nol::ir
+
+#endif // NOL_IR_LOOPINFO_HPP

@@ -1,0 +1,237 @@
+#include "ir/outline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ir/irbuilder.hpp"
+#include "ir/loopinfo.hpp"
+
+namespace nol::ir {
+
+namespace {
+
+/** True if @p v is an SSA value (argument or instruction result). */
+bool
+isLocalValue(const Value *v)
+{
+    return v->valueKind() == Value::Kind::Argument ||
+           v->valueKind() == Value::Kind::Instruction;
+}
+
+/** Block that defines @p v, or nullptr for arguments. */
+const BasicBlock *
+definingBlock(const Value *v)
+{
+    if (v->valueKind() == Value::Kind::Instruction)
+        return static_cast<const Instruction *>(v)->parent();
+    return nullptr;
+}
+
+struct LoopDataflow {
+    std::vector<Value *> liveIns;
+    std::vector<Value *> liveOuts;
+};
+
+LoopDataflow
+analyzeDataflow(Function &fn, const LoopMeta &loop)
+{
+    std::set<const BasicBlock *> in_loop(loop.blocks.begin(),
+                                         loop.blocks.end());
+    LoopDataflow flow;
+    std::set<Value *> live_in_seen;
+    std::set<Value *> live_out_seen;
+
+    for (const auto &bb : fn.blocks()) {
+        bool inside = in_loop.count(bb.get()) != 0;
+        for (const auto &inst : bb->insts()) {
+            for (Value *op : inst->operands()) {
+                if (!isLocalValue(op))
+                    continue;
+                const BasicBlock *def_bb = definingBlock(op);
+                bool def_inside = def_bb != nullptr && in_loop.count(def_bb);
+                if (inside && !def_inside && live_in_seen.insert(op).second)
+                    flow.liveIns.push_back(op);
+                if (!inside && def_inside && live_out_seen.insert(op).second)
+                    flow.liveOuts.push_back(op);
+            }
+        }
+    }
+    return flow;
+}
+
+} // namespace
+
+OutlineResult
+canOutlineLoop(Function &fn, const LoopMeta &loop)
+{
+    OutlineResult res;
+    if (loop.preheader == nullptr) {
+        res.reason = "no unique preheader";
+        return res;
+    }
+    if (loop.exit == nullptr) {
+        res.reason = "no unique exit block";
+        return res;
+    }
+    if (loop.contains(loop.exit)) {
+        res.reason = "exit block inside loop";
+        return res;
+    }
+
+    // The preheader must reach the header directly.
+    bool edge_found = false;
+    for (BasicBlock *succ : loop.preheader->successors())
+        edge_found |= succ == loop.header;
+    if (!edge_found) {
+        res.reason = "preheader does not branch to header";
+        return res;
+    }
+
+    // The header's only outside predecessor must be the preheader.
+    auto preds = predecessors(fn);
+    for (BasicBlock *pred : preds[loop.header]) {
+        if (!loop.contains(pred) && pred != loop.preheader) {
+            res.reason = "header has outside predecessor besides preheader";
+            return res;
+        }
+    }
+
+    // Loop exits may only target the unique exit block.
+    for (BasicBlock *bb : loop.blocks) {
+        for (BasicBlock *succ : bb->successors()) {
+            if (!loop.contains(succ) && succ != loop.exit) {
+                res.reason = "loop exits to multiple blocks";
+                return res;
+            }
+        }
+    }
+
+    LoopDataflow flow = analyzeDataflow(fn, loop);
+    if (!flow.liveOuts.empty()) {
+        res.reason = "SSA value live out of loop: " +
+                     flow.liveOuts.front()->name();
+        return res;
+    }
+
+    res.ok = true;
+    return res;
+}
+
+Function *
+outlineLoop(Module &module, Function &fn, const std::string &loop_name,
+            const std::string &new_name)
+{
+    const LoopMeta *loop_ptr = fn.loopByName(loop_name);
+    NOL_ASSERT(loop_ptr != nullptr, "no loop %s in @%s", loop_name.c_str(),
+               fn.name().c_str());
+    LoopMeta loop = *loop_ptr; // copy: we mutate fn.loops() below
+
+    OutlineResult check = canOutlineLoop(fn, loop);
+    NOL_ASSERT(check.ok, "loop %s not outlineable: %s", loop_name.c_str(),
+               check.reason.c_str());
+
+    LoopDataflow flow = analyzeDataflow(fn, loop);
+
+    // Build the new function: void new_name(live-in types...).
+    std::vector<const Type *> param_types;
+    std::vector<std::string> param_names;
+    for (Value *v : flow.liveIns) {
+        param_types.push_back(v->type());
+        param_names.push_back(v->name().empty() ? "in" : v->name());
+    }
+    const FunctionType *fn_type =
+        module.types().functionTy(module.types().voidTy(), param_types);
+    Function *out = module.createFunction(new_name, fn_type);
+    out->materializeArgs(param_names);
+
+    // Map live-ins to the new arguments.
+    std::map<Value *, Value *> value_map;
+    for (size_t i = 0; i < flow.liveIns.size(); ++i)
+        value_map[flow.liveIns[i]] = out->arg(i);
+
+    // Move the loop blocks (header first, then original order).
+    std::set<BasicBlock *> moved(loop.blocks.begin(), loop.blocks.end());
+    std::vector<BasicBlock *> ordered;
+    ordered.push_back(loop.header);
+    for (const auto &bb : fn.blocks()) {
+        if (moved.count(bb.get()) != 0 && bb.get() != loop.header)
+            ordered.push_back(bb.get());
+    }
+    for (BasicBlock *bb : ordered)
+        out->adoptBlock(fn.removeBlock(bb));
+
+    // Return block replacing the old exit target.
+    BasicBlock *ret_bb = out->createBlock("loop.ret");
+    {
+        IRBuilder b(module);
+        b.setInsertPoint(ret_bb);
+        b.ret();
+    }
+
+    // Rewrite moved instructions: live-in operands and exit edges.
+    for (BasicBlock *bb : ordered) {
+        for (const auto &inst : bb->insts()) {
+            for (size_t i = 0; i < inst->numOperands(); ++i) {
+                auto it = value_map.find(inst->operand(i));
+                if (it != value_map.end())
+                    inst->setOperand(i, it->second);
+            }
+            for (size_t i = 0; i < inst->successors().size(); ++i) {
+                if (inst->successor(i) == loop.exit)
+                    inst->setSuccessor(i, ret_bb);
+            }
+        }
+    }
+
+    // In the original function: call the new function, then fall
+    // through to the old exit. Reuse the preheader's header edge.
+    BasicBlock *call_bb = fn.createBlock(new_name + ".call");
+    {
+        IRBuilder b(module);
+        b.setInsertPoint(call_bb);
+        b.call(out, flow.liveIns);
+        b.br(loop.exit);
+    }
+    Instruction *pre_term = loop.preheader->terminator();
+    NOL_ASSERT(pre_term != nullptr, "preheader lacks terminator");
+    for (size_t i = 0; i < pre_term->successors().size(); ++i) {
+        if (pre_term->successor(i) == loop.header)
+            pre_term->setSuccessor(i, call_bb);
+    }
+
+    // Move inner-loop metadata into the new function; repair outer
+    // metas that referenced the moved blocks.
+    std::vector<LoopMeta> kept;
+    for (LoopMeta &meta : fn.loops()) {
+        if (meta.name == loop.name)
+            continue; // the outlined loop itself: dropped
+        bool all_inside = !meta.blocks.empty();
+        bool any_inside = false;
+        for (BasicBlock *bb : meta.blocks) {
+            bool inside = moved.count(bb) != 0;
+            all_inside &= inside;
+            any_inside |= inside;
+        }
+        if (all_inside) {
+            out->addLoop(meta); // inner loop: follows its blocks
+        } else if (any_inside) {
+            // Outer loop that contained the outlined one: replace the
+            // moved blocks with the call block.
+            LoopMeta repaired = meta;
+            repaired.blocks.erase(
+                std::remove_if(repaired.blocks.begin(), repaired.blocks.end(),
+                               [&](BasicBlock *bb) { return moved.count(bb); }),
+                repaired.blocks.end());
+            repaired.blocks.push_back(call_bb);
+            kept.push_back(std::move(repaired));
+        } else {
+            kept.push_back(meta);
+        }
+    }
+    fn.loops() = std::move(kept);
+
+    return out;
+}
+
+} // namespace nol::ir

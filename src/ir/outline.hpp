@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Loop outlining: extract a structured loop into its own function so
+ * the target selector can treat loops as offload candidates (the paper
+ * offloads targets like "main_for.cond" and "try_place_while.cond").
+ */
+#ifndef NOL_IR_OUTLINE_HPP
+#define NOL_IR_OUTLINE_HPP
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace nol::ir {
+
+/** Result of an outlining attempt. */
+struct OutlineResult {
+    bool ok = false;          ///< false if the loop is not outlineable
+    std::string reason;       ///< why outlining was rejected
+    Function *fn = nullptr;   ///< the new loop function on success
+};
+
+/**
+ * Check whether @p loop of @p fn can be outlined: a unique preheader,
+ * a unique exit block, and no SSA values flowing out of the loop
+ * (front-end alloca-form code always satisfies the last condition).
+ */
+OutlineResult canOutlineLoop(Function &fn, const LoopMeta &loop);
+
+/**
+ * Outline @p loop of @p fn into a new function named @p new_name.
+ * Live-in values become parameters; the call replaces the loop in @p fn.
+ * Inner-loop metadata moves to the new function. Panics if the loop is
+ * not outlineable (call canOutlineLoop first).
+ */
+Function *outlineLoop(Module &module, Function &fn, const std::string &loop_name,
+                      const std::string &new_name);
+
+} // namespace nol::ir
+
+#endif // NOL_IR_OUTLINE_HPP

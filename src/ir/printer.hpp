@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Textual dump of IR modules/functions for debugging, golden tests and
+ * human inspection of the partitioner's output.
+ */
+#ifndef NOL_IR_PRINTER_HPP
+#define NOL_IR_PRINTER_HPP
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace nol::ir {
+
+/** Render a whole module. */
+std::string printModule(const Module &module);
+
+/** Render one function. */
+std::string printFunction(const Function &fn);
+
+/** Render one instruction (without trailing newline). */
+std::string printInst(const Instruction &inst);
+
+} // namespace nol::ir
+
+#endif // NOL_IR_PRINTER_HPP

@@ -1,0 +1,121 @@
+#include "ir/type.hpp"
+
+#include <sstream>
+
+namespace nol::ir {
+
+int
+StructType::fieldIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::string
+FunctionType::str() const
+{
+    std::ostringstream os;
+    os << ret_->str() << " (";
+    for (size_t i = 0; i < params_.size(); ++i) {
+        if (i != 0)
+            os << ", ";
+        os << params_[i]->str();
+    }
+    if (variadic_) {
+        if (!params_.empty())
+            os << ", ";
+        os << "...";
+    }
+    os << ")";
+    return os.str();
+}
+
+TypeContext::TypeContext()
+    : void_ty_(std::make_unique<VoidType>()),
+      i1_(std::make_unique<IntType>(1)),
+      i8_(std::make_unique<IntType>(8)),
+      i16_(std::make_unique<IntType>(16)),
+      i32_(std::make_unique<IntType>(32)),
+      i64_(std::make_unique<IntType>(64)),
+      f32_(std::make_unique<FloatType>(32)),
+      f64_(std::make_unique<FloatType>(64))
+{
+}
+
+const IntType *
+TypeContext::intTy(uint32_t bits) const
+{
+    switch (bits) {
+      case 1: return i1_.get();
+      case 8: return i8_.get();
+      case 16: return i16_.get();
+      case 32: return i32_.get();
+      case 64: return i64_.get();
+      default: panic("unsupported integer width %u", bits);
+    }
+}
+
+const PointerType *
+TypeContext::pointerTo(const Type *pointee)
+{
+    auto it = pointers_.find(pointee);
+    if (it != pointers_.end())
+        return it->second.get();
+    auto ptr = std::make_unique<PointerType>(pointee);
+    const PointerType *raw = ptr.get();
+    pointers_.emplace(pointee, std::move(ptr));
+    return raw;
+}
+
+const ArrayType *
+TypeContext::arrayOf(const Type *element, uint64_t count)
+{
+    auto key = std::make_pair(element, count);
+    auto it = arrays_.find(key);
+    if (it != arrays_.end())
+        return it->second.get();
+    auto arr = std::make_unique<ArrayType>(element, count);
+    const ArrayType *raw = arr.get();
+    arrays_.emplace(key, std::move(arr));
+    return raw;
+}
+
+const FunctionType *
+TypeContext::functionTy(const Type *ret, std::vector<const Type *> params,
+                        bool variadic)
+{
+    // Function types are rare enough that a linear uniquing scan is fine.
+    for (const auto &fn_ty : fn_types_) {
+        if (fn_ty->returnType() == ret && fn_ty->params() == params &&
+            fn_ty->isVariadic() == variadic) {
+            return fn_ty.get();
+        }
+    }
+    fn_types_.push_back(
+        std::make_unique<FunctionType>(ret, std::move(params), variadic));
+    return fn_types_.back().get();
+}
+
+StructType *
+TypeContext::createStruct(const std::string &name,
+                          std::vector<StructType::Field> fields)
+{
+    NOL_ASSERT(structs_.count(name) == 0, "duplicate struct %s", name.c_str());
+    auto st = std::make_unique<StructType>(name, std::move(fields));
+    StructType *raw = st.get();
+    structs_.emplace(name, std::move(st));
+    struct_order_.push_back(raw);
+    return raw;
+}
+
+StructType *
+TypeContext::structByName(const std::string &name) const
+{
+    auto it = structs_.find(name);
+    return it == structs_.end() ? nullptr : it->second.get();
+}
+
+} // namespace nol::ir

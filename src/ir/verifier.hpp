@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Structural and type checks on IR modules. The verifier runs after
+ * the front end and after every compiler transformation; a verification
+ * failure is always an internal bug (panic), never a user error.
+ */
+#ifndef NOL_IR_VERIFIER_HPP
+#define NOL_IR_VERIFIER_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace nol::ir {
+
+/** Check @p module; returns the list of problems (empty = valid). */
+std::vector<std::string> verifyModule(const Module &module);
+
+/** Check @p module and panic with the first problem if invalid. */
+void verifyModuleOrDie(const Module &module);
+
+} // namespace nol::ir
+
+#endif // NOL_IR_VERIFIER_HPP

@@ -1,0 +1,100 @@
+#include "net/simnetwork.hpp"
+
+namespace nol::net {
+
+NetworkSpec
+makeWifi80211n()
+{
+    NetworkSpec spec;
+    spec.name = "802.11n";
+    spec.bandwidthMbps = 144.0;
+    spec.latencyUs = 1500.0;
+    spec.receiveMw = 1700.0; // the paper's Fig. 8(c) slow-network plateau
+    spec.transmitMw = 3800.0;
+    spec.remoteIoServiceMw = 1700.0;
+    return spec;
+}
+
+NetworkSpec
+makeWifi80211ac()
+{
+    NetworkSpec spec;
+    spec.name = "802.11ac";
+    spec.bandwidthMbps = 844.0;
+    spec.latencyUs = 1500.0;
+    spec.receiveMw = 2000.0;
+    spec.transmitMw = 4500.0;
+    spec.remoteIoServiceMw = 2000.0;
+    return spec;
+}
+
+double
+SimNetwork::transferTimeNs(uint64_t bytes) const
+{
+    double serialize_s =
+        static_cast<double>(bytes) * 8.0 / effectiveBitsPerSecond();
+    return spec_.latencyUs * 1e3 + serialize_s * 1e9;
+}
+
+NetworkSpec
+makeCloudlet()
+{
+    NetworkSpec spec = makeWifi80211ac();
+    spec.name = "cloudlet";
+    spec.latencyUs = 300.0; // one hop, no WAN
+    return spec;
+}
+
+NetworkSpec
+makeLteCloud()
+{
+    NetworkSpec spec;
+    spec.name = "lte-cloud";
+    spec.bandwidthMbps = 40.0;
+    spec.latencyUs = 60000.0; // 60 ms WAN round trips
+    spec.receiveMw = 2500.0;  // cellular radio is hungrier than WiFi
+    spec.transmitMw = 5000.0;
+    spec.remoteIoServiceMw = 2500.0;
+    return spec;
+}
+
+double
+SimNetwork::transferTimeUnscaledNs(uint64_t bytes) const
+{
+    double serialize_s =
+        static_cast<double>(bytes) * 8.0 / (spec_.bandwidthMbps * 1e6);
+    return spec_.latencyUs * 1e3 + serialize_s * 1e9;
+}
+
+double
+SimNetwork::transferUnscaled(Direction direction, uint64_t bytes)
+{
+    double ns = transferTimeUnscaledNs(bytes);
+    TrafficStats &stats =
+        direction == Direction::MobileToServer ? to_server_ : to_mobile_;
+    ++stats.messages;
+    stats.bytes += bytes;
+    stats.seconds += ns * 1e-9;
+    return ns;
+}
+
+double
+SimNetwork::transfer(Direction direction, uint64_t bytes)
+{
+    double ns = transferTimeNs(bytes);
+    TrafficStats &stats =
+        direction == Direction::MobileToServer ? to_server_ : to_mobile_;
+    ++stats.messages;
+    stats.bytes += bytes;
+    stats.seconds += ns * 1e-9;
+    return ns;
+}
+
+void
+SimNetwork::resetStats()
+{
+    to_server_ = {};
+    to_mobile_ = {};
+}
+
+} // namespace nol::net

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Simulated wireless network between the mobile device and the server.
+ * Models the paper's two WiFi environments — 802.11n "slow" (144 Mbps)
+ * and 802.11ac "fast" (844 Mbps) — as a bandwidth + per-message
+ * latency pipe with per-direction byte and time accounting.
+ *
+ * The workload memory footprints in this reproduction are scaled down
+ * by a configurable factor k; the effective bandwidth is divided by
+ * the same k, so every time ratio (Eq. 1, Figs. 6-7) is preserved
+ * exactly while keeping simulation sizes tractable.
+ */
+#ifndef NOL_NET_SIMNETWORK_HPP
+#define NOL_NET_SIMNETWORK_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nol::net {
+
+/** Static description of one network environment. */
+struct NetworkSpec {
+    std::string name;
+    double bandwidthMbps = 844.0; ///< paper-equivalent link bandwidth
+    double latencyUs = 300.0;     ///< per-message latency
+    double receiveMw = 2000.0;    ///< mobile radio receive power
+    double transmitMw = 3500.0;   ///< mobile radio transmit power
+    double remoteIoServiceMw = 2000.0; ///< sustained remote-I/O handling
+};
+
+/** 802.11n, the paper's "slow" environment (max 144 Mbps). */
+NetworkSpec makeWifi80211n();
+
+/** 802.11ac, the paper's "fast" environment (max 844 Mbps). */
+NetworkSpec makeWifi80211ac();
+
+/**
+ * A Cloudlet: a server one wireless hop away (paper Sec. 6 cites
+ * Satyanarayanan et al.'s case for nearby servers to cut latency).
+ * Same 802.11ac radio, but ~5x lower round-trip latency than a
+ * WAN-routed cloud server.
+ */
+NetworkSpec makeCloudlet();
+
+/**
+ * A distant cloud datacenter over LTE: lower bandwidth and much
+ * higher latency — the unfavorable end of the deployment spectrum.
+ */
+NetworkSpec makeLteCloud();
+
+/** Transfer direction. */
+enum class Direction {
+    MobileToServer,
+    ServerToMobile,
+};
+
+/** Per-direction traffic statistics. */
+struct TrafficStats {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    double seconds = 0;
+};
+
+/** The pipe itself: computes durations and accounts traffic. */
+class SimNetwork
+{
+  public:
+    /**
+     * @param scale memory/bandwidth scale factor k (see file comment);
+     *        effective bandwidth = spec.bandwidthMbps / scale.
+     */
+    SimNetwork(NetworkSpec spec, double scale = 1.0)
+        : spec_(std::move(spec)), scale_(scale)
+    {}
+
+    const NetworkSpec &spec() const { return spec_; }
+    double scale() const { return scale_; }
+
+    /** Effective bandwidth in bits per simulated second. */
+    double
+    effectiveBitsPerSecond() const
+    {
+        return spec_.bandwidthMbps * 1e6 / scale_;
+    }
+
+    /**
+     * Account one message of @p bytes in @p direction; returns its
+     * duration in nanoseconds (latency + serialization).
+     */
+    double transfer(Direction direction, uint64_t bytes);
+
+    /** Duration a message WOULD take, without accounting it. */
+    double transferTimeNs(uint64_t bytes) const;
+
+    /**
+     * Duration at the UNSCALED link bandwidth. Used for remote-I/O
+     * round trips: the scale factor k compensates for scaled-down page
+     * and file payloads, but per-operation control messages were never
+     * scaled, so they see the true link (latency-dominated, as on real
+     * WiFi).
+     */
+    double transferTimeUnscaledNs(uint64_t bytes) const;
+
+    /** As transfer(), but at the unscaled bandwidth. */
+    double transferUnscaled(Direction direction, uint64_t bytes);
+
+    const TrafficStats &toServer() const { return to_server_; }
+    const TrafficStats &toMobile() const { return to_mobile_; }
+
+    /** Total bytes both ways. */
+    uint64_t totalBytes() const
+    {
+        return to_server_.bytes + to_mobile_.bytes;
+    }
+
+    void resetStats();
+
+  private:
+    NetworkSpec spec_;
+    double scale_;
+    TrafficStats to_server_;
+    TrafficStats to_mobile_;
+};
+
+} // namespace nol::net
+
+#endif // NOL_NET_SIMNETWORK_HPP

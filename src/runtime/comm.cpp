@@ -1,0 +1,228 @@
+#include "runtime/comm.hpp"
+
+#include "compress/lz.hpp"
+#include "sim/costmodel.hpp"
+
+namespace nol::runtime {
+
+namespace {
+
+/** Per-page wire header (page number + length). */
+constexpr uint64_t kPageHeader = 16;
+
+/** Compression cost: ~4 bytes per cost unit on the compressor. */
+uint64_t
+compressCost(uint64_t bytes)
+{
+    return bytes / 4;
+}
+
+/** Decompression is ~4x cheaper (paper Sec. 4). */
+uint64_t
+decompressCost(uint64_t bytes)
+{
+    return bytes / 16;
+}
+
+} // namespace
+
+const char *
+commCategoryName(CommCategory category)
+{
+    switch (category) {
+      case CommCategory::Control: return "control";
+      case CommCategory::Prefetch: return "prefetch";
+      case CommCategory::Demand: return "copy-on-demand";
+      case CommCategory::WriteBack: return "write-back";
+      case CommCategory::RemoteIo: return "remote-io";
+    }
+    return "?";
+}
+
+CommManager::CommManager(sim::SimMachine &mobile, sim::SimMachine &server,
+                         net::SimNetwork &network, bool compression_enabled)
+    : mobile_(mobile), server_(server), network_(network),
+      compression_(compression_enabled)
+{
+}
+
+void
+CommManager::syncClocks()
+{
+    double t = std::max(mobile_.nowNs(), server_.nowNs());
+    mobile_.syncTo(t, sim::PowerState::Waiting);
+    server_.syncTo(t, sim::PowerState::Idle);
+}
+
+double
+CommManager::transferMobileToServer(uint64_t bytes, bool unscaled)
+{
+    syncClocks();
+    double ns =
+        unscaled
+            ? network_.transferUnscaled(net::Direction::MobileToServer,
+                                        bytes)
+            : network_.transfer(net::Direction::MobileToServer, bytes);
+    mobile_.advanceTime(ns, sim::PowerState::Transmit);
+    server_.advanceTime(ns, sim::PowerState::Idle);
+    return ns;
+}
+
+double
+CommManager::transferServerToMobile(uint64_t bytes, bool unscaled)
+{
+    syncClocks();
+    double ns =
+        unscaled
+            ? network_.transferUnscaled(net::Direction::ServerToMobile,
+                                        bytes)
+            : network_.transfer(net::Direction::ServerToMobile, bytes);
+    mobile_.advanceTime(ns, sim::PowerState::Receive);
+    server_.advanceTime(ns, sim::PowerState::Idle);
+    return ns;
+}
+
+void
+CommManager::account(CommCategory category, uint64_t wire, uint64_t raw,
+                     double ns)
+{
+    CommTotals &totals = totals_[category];
+    ++totals.messages;
+    totals.wireBytes += wire;
+    totals.rawBytes += raw;
+    totals.seconds += ns * 1e-9;
+}
+
+void
+CommManager::sendToServer(uint64_t bytes, CommCategory category)
+{
+    double ns = transferMobileToServer(
+        bytes, category == CommCategory::RemoteIo);
+    account(category, bytes, bytes, ns);
+}
+
+void
+CommManager::sendToMobile(uint64_t raw_bytes, CommCategory category,
+                          bool compressible,
+                          const std::vector<uint8_t> *payload)
+{
+    uint64_t wire = raw_bytes;
+    if (compression_ && compressible && raw_bytes > 0) {
+        if (payload != nullptr) {
+            wire = compress::lzCompress(*payload).size();
+        } else {
+            wire = raw_bytes / 2; // conservative default ratio
+        }
+        compress_units_server_ += compressCost(raw_bytes);
+        server_.advanceCompute(compressCost(raw_bytes));
+    }
+    double ns = transferServerToMobile(
+        wire, category == CommCategory::RemoteIo);
+    if (compression_ && compressible && raw_bytes > 0) {
+        decompress_units_mobile_ += decompressCost(raw_bytes);
+        mobile_.advanceCompute(decompressCost(raw_bytes));
+    }
+    account(category, wire, raw_bytes, ns);
+}
+
+void
+CommManager::pushPagesToServer(const std::vector<uint64_t> &pages,
+                               CommCategory category)
+{
+    if (pages.empty())
+        return;
+    // Batched: one message carries every page (the paper's batching
+    // amortizes per-message overheads).
+    uint64_t bytes = pages.size() * (sim::kPageSize + kPageHeader);
+    double ns = transferMobileToServer(bytes);
+    account(category, bytes, bytes, ns);
+    for (uint64_t page_num : pages) {
+        server_.mem().installPage(page_num,
+                                  mobile_.mem().pageData(page_num));
+        mobile_.mem().clearDirty(page_num);
+    }
+}
+
+void
+CommManager::fetchPageToServer(uint64_t page_num)
+{
+    ++demand_faults_;
+    // Request (server→mobile, small) then the page (mobile→server).
+    double ns1 = transferServerToMobile(64);
+    account(CommCategory::Demand, 64, 64, ns1);
+    double ns2 = transferMobileToServer(sim::kPageSize + kPageHeader);
+    account(CommCategory::Demand, sim::kPageSize + kPageHeader,
+            sim::kPageSize + kPageHeader, ns2);
+    server_.mem().installPage(page_num, mobile_.mem().pageData(page_num));
+}
+
+uint64_t
+CommManager::writeBackDirtyPages()
+{
+    std::vector<uint64_t> dirty = server_.mem().dirtyPages();
+    if (dirty.empty()) {
+        sendToMobile(64, CommCategory::Control); // bare termination signal
+        return 0;
+    }
+
+    // Serialize page numbers + contents so the compressor sees real
+    // bytes (ratio depends on actual data, like the paper's runtime).
+    std::vector<uint8_t> payload;
+    payload.reserve(dirty.size() * (sim::kPageSize + kPageHeader));
+    for (uint64_t page_num : dirty) {
+        for (int b = 0; b < 8; ++b)
+            payload.push_back(static_cast<uint8_t>(page_num >> (8 * b)));
+        const uint8_t *data = server_.mem().pageData(page_num);
+        payload.insert(payload.end(), data, data + sim::kPageSize);
+    }
+    sendToMobile(payload.size(), CommCategory::WriteBack,
+                 /*compressible=*/true, &payload);
+
+    for (uint64_t page_num : dirty) {
+        mobile_.mem().installPage(page_num,
+                                  server_.mem().pageData(page_num));
+    }
+    return payload.size();
+}
+
+double
+CommManager::secondsIn(CommCategory category) const
+{
+    auto it = totals_.find(category);
+    return it == totals_.end() ? 0.0 : it->second.seconds;
+}
+
+uint64_t
+CommManager::bytesIn(CommCategory category) const
+{
+    auto it = totals_.find(category);
+    return it == totals_.end() ? 0 : it->second.wireBytes;
+}
+
+uint64_t
+CommManager::totalRawBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &[category, totals] : totals_)
+        total += totals.rawBytes;
+    return total;
+}
+
+uint64_t
+CommManager::totalWireBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &[category, totals] : totals_)
+        total += totals.wireBytes;
+    return total;
+}
+
+void
+CommManager::resetStats()
+{
+    totals_.clear();
+    demand_faults_ = 0;
+    network_.resetStats();
+}
+
+} // namespace nol::runtime

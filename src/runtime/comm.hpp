@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Communication manager (paper Sec. 4): moves pages and control
+ * messages between the two machines over the simulated network with
+ * batching, one-directional (server→mobile) compression, per-category
+ * traffic accounting, and clock/power coordination — the mobile radio
+ * transmits/receives while the peer waits.
+ */
+#ifndef NOL_RUNTIME_COMM_HPP
+#define NOL_RUNTIME_COMM_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/simnetwork.hpp"
+#include "sim/simmachine.hpp"
+
+namespace nol::runtime {
+
+/** Traffic categories (drive the Fig. 7 breakdown). */
+enum class CommCategory {
+    Control,   ///< offload requests, return values, page-table info
+    Prefetch,  ///< initialization heap push (Fig. 5 "prefetch")
+    Demand,    ///< copy-on-demand page fetches
+    WriteBack, ///< dirty pages at finalization
+    RemoteIo,  ///< remote I/O requests and responses
+};
+
+/** Printable category name. */
+const char *commCategoryName(CommCategory category);
+
+/** Per-category accounting. */
+struct CommTotals {
+    uint64_t messages = 0;
+    uint64_t wireBytes = 0; ///< after compression
+    uint64_t rawBytes = 0;  ///< before compression
+    double seconds = 0;
+};
+
+/** Orchestrates all mobile↔server data movement. */
+class CommManager
+{
+  public:
+    CommManager(sim::SimMachine &mobile, sim::SimMachine &server,
+                net::SimNetwork &network, bool compression_enabled);
+
+    /** Advance the earlier machine's clock to the later one's. */
+    void syncClocks();
+
+    /**
+     * One mobile→server message of @p bytes (uncompressed — the paper
+     * avoids compressing on the slow mobile CPU).
+     */
+    void sendToServer(uint64_t bytes, CommCategory category);
+
+    /**
+     * One server→mobile message; @p raw_bytes is compressed first when
+     * compression is enabled and @p compressible is true. @p payload
+     * may supply real bytes so the compressor sees actual content;
+     * otherwise an incompressible transfer is assumed.
+     */
+    void sendToMobile(uint64_t raw_bytes, CommCategory category,
+                      bool compressible = false,
+                      const std::vector<uint8_t> *payload = nullptr);
+
+    /**
+     * Copy @p pages (present on the mobile) to the server in one
+     * batched message, clearing the mobile-side dirty bits.
+     */
+    void pushPagesToServer(const std::vector<uint64_t> &pages,
+                           CommCategory category);
+
+    /** Copy-on-demand: fetch one page (request + response round trip). */
+    void fetchPageToServer(uint64_t page_num);
+
+    /**
+     * Finalization write-back: move every dirty server page to the
+     * mobile (batched, compressed), install them there and clear the
+     * corresponding mobile dirty bits. Returns raw bytes moved.
+     */
+    uint64_t writeBackDirtyPages();
+
+    const std::map<CommCategory, CommTotals> &totals() const
+    {
+        return totals_;
+    }
+
+    /** Seconds spent in @p category transfers. */
+    double secondsIn(CommCategory category) const;
+
+    /** Wire bytes in @p category. */
+    uint64_t bytesIn(CommCategory category) const;
+
+    /** Raw (pre-compression) bytes over all categories. */
+    uint64_t totalRawBytes() const;
+
+    /** Total wire bytes over all categories. */
+    uint64_t totalWireBytes() const;
+
+    uint64_t demandFaults() const { return demand_faults_; }
+
+    /** Simulated seconds the server spent compressing. */
+    double
+    compressSeconds() const
+    {
+        return static_cast<double>(compress_units_server_) *
+               server_.spec().nsPerCostUnit * 1e-9;
+    }
+
+    /** Simulated seconds the mobile spent decompressing. */
+    double
+    decompressSeconds() const
+    {
+        return static_cast<double>(decompress_units_mobile_) *
+               mobile_.spec().nsPerCostUnit * 1e-9;
+    }
+
+    net::SimNetwork &network() { return network_; }
+
+    void resetStats();
+
+  private:
+    double transferMobileToServer(uint64_t bytes, bool unscaled = false);
+    double transferServerToMobile(uint64_t bytes, bool unscaled = false);
+    void account(CommCategory category, uint64_t wire, uint64_t raw,
+                 double ns);
+
+    sim::SimMachine &mobile_;
+    sim::SimMachine &server_;
+    net::SimNetwork &network_;
+    bool compression_;
+    std::map<CommCategory, CommTotals> totals_;
+    uint64_t demand_faults_ = 0;
+    uint64_t compress_units_server_ = 0;
+    uint64_t decompress_units_mobile_ = 0;
+};
+
+} // namespace nol::runtime
+
+#endif // NOL_RUNTIME_COMM_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Dynamic performance estimator (paper Sec. 4, "Local execution"):
+ * re-evaluates Equation 1 at every offload-enabled call with the
+ * *current* network bandwidth and the latest observed execution time
+ * and memory usage, so offloading is refused under unfavorable
+ * conditions (the `*` entries of Fig. 6 — e.g. 164.gzip on 802.11n).
+ */
+#ifndef NOL_RUNTIME_DYNESTIMATOR_HPP
+#define NOL_RUNTIME_DYNESTIMATOR_HPP
+
+#include <map>
+#include <string>
+
+#include "compiler/estimator.hpp"
+
+namespace nol::runtime {
+
+/** Live per-target knowledge, seeded from the compile-time profile. */
+struct TargetKnowledge {
+    double mobileSecondsPerInvocation = 0; ///< Tm per call
+    uint64_t memBytes = 0;                 ///< M
+    uint64_t observations = 0;
+};
+
+/** One decision with its reasoning. */
+struct DynDecision {
+    bool offload = false;
+    compiler::Estimate estimate;
+};
+
+/** The estimator itself. */
+class DynamicEstimator
+{
+  public:
+    /**
+     * @param speed_ratio R (server/mobile), @param bandwidth_bps the
+     * *effective* link bandwidth in bits per simulated second (already
+     * scaled consistently with the workload byte counts).
+     */
+    DynamicEstimator(double speed_ratio, double bandwidth_bps)
+        : speed_ratio_(speed_ratio), bandwidth_bps_(bandwidth_bps)
+    {}
+
+    /** Seed a target's knowledge from compile-time profiling. */
+    void
+    seed(const std::string &target, double mobile_seconds_per_invocation,
+         uint64_t mem_bytes)
+    {
+        knowledge_[target] = {mobile_seconds_per_invocation, mem_bytes, 0};
+    }
+
+    /** Decide whether to offload this invocation of @p target. */
+    DynDecision
+    decide(const std::string &target) const
+    {
+        DynDecision decision;
+        auto it = knowledge_.find(target);
+        if (it == knowledge_.end())
+            return decision; // unknown target: stay local
+        const TargetKnowledge &know = it->second;
+        compiler::EstimatorParams params;
+        params.speedRatio = speed_ratio_;
+        params.bandwidthMbps = bandwidth_bps_ / 1e6;
+        decision.estimate = compiler::estimateGain(
+            know.mobileSecondsPerInvocation, know.memBytes,
+            /*invocations=*/1, params);
+        decision.offload = decision.estimate.profitable();
+        return decision;
+    }
+
+    /**
+     * Fold an observed execution into the knowledge (exponential
+     * moving average, so changing behavior is tracked).
+     */
+    void
+    observe(const std::string &target, double mobile_equiv_seconds,
+            uint64_t traffic_bytes)
+    {
+        TargetKnowledge &know = knowledge_[target];
+        double alpha = know.observations == 0 ? 1.0 : 0.5;
+        know.mobileSecondsPerInvocation =
+            (1 - alpha) * know.mobileSecondsPerInvocation +
+            alpha * mobile_equiv_seconds;
+        // Eq. 1 counts M twice (there and back); the observed traffic
+        // already includes both directions.
+        know.memBytes = static_cast<uint64_t>(
+            (1 - alpha) * static_cast<double>(know.memBytes) +
+            alpha * static_cast<double>(traffic_bytes) / 2.0);
+        ++know.observations;
+    }
+
+    const std::map<std::string, TargetKnowledge> &knowledge() const
+    {
+        return knowledge_;
+    }
+
+  private:
+    double speed_ratio_;
+    double bandwidth_bps_;
+    std::map<std::string, TargetKnowledge> knowledge_;
+};
+
+} // namespace nol::runtime
+
+#endif // NOL_RUNTIME_DYNESTIMATOR_HPP

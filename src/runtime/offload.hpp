@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The Native Offloader runtime (paper Sec. 4): executes the partitioned
+ * mobile and server binaries cooperatively over the simulated network,
+ * following the Fig. 5 life cycle — local execution, dynamic decision,
+ * initialization (prefetch), offloading execution with copy-on-demand
+ * paging and remote I/O, and finalization with compressed dirty-page
+ * write-back.
+ */
+#ifndef NOL_RUNTIME_OFFLOAD_HPP
+#define NOL_RUNTIME_OFFLOAD_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/driver.hpp"
+#include "net/simnetwork.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/dynestimator.hpp"
+#include "runtime/uva.hpp"
+#include "sim/simmachine.hpp"
+
+namespace nol::runtime {
+
+/** Runtime configuration of one evaluation run. */
+struct SystemConfig {
+    net::NetworkSpec network;        ///< defaults to 802.11ac (fast)
+    double memScale = 32.0;          ///< byte/bandwidth scale factor k
+    bool compressionEnabled = true;  ///< server→mobile write-back LZ
+    bool prefetchEnabled = true;     ///< initialization heap push
+    bool copyOnDemand = true;        ///< false: ship ALL pages up front
+    bool dynamicDecision = true;     ///< runtime Eq. 1 re-evaluation
+    bool forceLocal = false;         ///< baseline: never offload
+    bool idealOffload = false;       ///< zero-overhead offloading
+    uint64_t fnPtrTranslateCost = 60; ///< units per server indirect call
+    uint64_t stepLimit = 4'000'000'000ull;
+
+    SystemConfig();
+};
+
+/** Input of one run (evaluation input, distinct from profiling input). */
+struct RunInput {
+    std::string stdinText;
+    std::map<std::string, std::string> files;
+};
+
+/** One offload decision taken at run time. */
+struct OffloadEvent {
+    std::string target;
+    bool offloaded = false;
+    bool ideal = false;
+    double estimatedGain = 0;
+    double trafficBytes = 0;     ///< wire bytes this invocation
+    double rawTrafficBytes = 0;  ///< pre-compression bytes this invocation
+    double serverSeconds = 0; ///< server busy time this invocation
+};
+
+/** Where the time went (drives Fig. 7). */
+struct TimeBreakdown {
+    double mobileCompute = 0;     ///< local computation on the device
+    double serverCompute = 0;     ///< offloaded computation (pure)
+    double fnPtrTranslation = 0;  ///< function-pointer mapping overhead
+    double remoteIo = 0;          ///< remote I/O requests + transfers
+    double communication = 0;     ///< prefetch + CoD + write-back + ctl
+};
+
+/** Everything a run produced. */
+struct RunReport {
+    int64_t exitValue = 0;
+    std::string console;
+    double mobileSeconds = 0;  ///< whole-program time (mobile clock)
+    double energyMillijoules = 0;
+    TimeBreakdown breakdown;
+
+    uint64_t wireBytes = 0;       ///< after compression
+    uint64_t rawBytes = 0;        ///< before compression
+    std::map<std::string, uint64_t> bytesByCategory;
+
+    uint64_t offloads = 0;
+    uint64_t localRuns = 0;   ///< stub executed locally (declined)
+    uint64_t demandFaults = 0;
+
+    std::vector<OffloadEvent> events;
+    std::vector<sim::PowerSegment> powerTimeline;
+
+    /** Mean wire traffic per offload in *paper-equivalent* MB. */
+    double trafficPerOffloadMb(double mem_scale) const;
+};
+
+/**
+ * The two-machine offloading system. Construct once per configuration;
+ * each run() builds fresh machines, so runs are independent.
+ */
+class OffloadSystem
+{
+  public:
+    OffloadSystem(const compiler::CompiledProgram &program,
+                  SystemConfig config);
+
+    /** Execute the program end to end. */
+    RunReport run(const RunInput &input);
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    const compiler::CompiledProgram &program_;
+    SystemConfig config_;
+};
+
+} // namespace nol::runtime
+
+#endif // NOL_RUNTIME_OFFLOAD_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unified virtual address (UVA) space management (paper Sec. 3.2 / 4).
+ * The UVA heap is one address range both machines agree on; each side
+ * allocates from a disjoint sub-range so u_malloc never hands out the
+ * same address twice even when the server allocates during offloaded
+ * execution. Page *contents* flow through prefetch, copy-on-demand and
+ * write-back (CommManager); this class only manages addresses.
+ */
+#ifndef NOL_RUNTIME_UVA_HPP
+#define NOL_RUNTIME_UVA_HPP
+
+#include "sim/heapalloc.hpp"
+#include "sim/simmachine.hpp"
+
+namespace nol::runtime {
+
+/** Split point between the mobile and server UVA sub-heaps. */
+constexpr uint64_t kUvaServerSubBase =
+    sim::kUvaHeapBase + sim::kUvaHeapSize * 3 / 4;
+
+/** Address-space manager of the unified heap. */
+class UvaManager
+{
+  public:
+    UvaManager()
+        : mobile_heap_(sim::kUvaHeapBase,
+                       kUvaServerSubBase - sim::kUvaHeapBase),
+          server_heap_(kUvaServerSubBase,
+                       sim::kUvaHeapBase + sim::kUvaHeapSize -
+                           kUvaServerSubBase)
+    {}
+
+    /** u_malloc arena of the mobile device. */
+    sim::HeapAllocator &mobileHeap() { return mobile_heap_; }
+
+    /** u_malloc arena of the server (disjoint sub-range). */
+    sim::HeapAllocator &serverHeap() { return server_heap_; }
+
+    /** True if @p addr lies anywhere in the UVA heap or globals. */
+    static bool
+    isUvaAddress(uint64_t addr)
+    {
+        return (addr >= sim::kUvaHeapBase &&
+                addr < sim::kUvaHeapBase + sim::kUvaHeapSize) ||
+               (addr >= 0x3000'0000ull && addr < sim::kUvaHeapBase);
+    }
+
+    /** Highest mobile-sub-heap address ever allocated. */
+    uint64_t mobileHighWater() const { return mobile_heap_.highWater(); }
+
+  private:
+    sim::HeapAllocator mobile_heap_;
+    sim::HeapAllocator server_heap_;
+};
+
+} // namespace nol::runtime
+
+#endif // NOL_RUNTIME_UVA_HPP

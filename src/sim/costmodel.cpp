@@ -1,0 +1,44 @@
+#include "sim/costmodel.hpp"
+
+#include <map>
+#include <set>
+
+namespace nol::sim {
+
+uint64_t
+externalBaseCost(const std::string &name)
+{
+    static const std::map<std::string, uint64_t> kCosts = {
+        {"malloc", 50},   {"calloc", 60},    {"realloc", 60},
+        {"free", 30},     {"printf", 90},    {"scanf", 120},
+        {"puts", 40},     {"putchar", 10},   {"getchar", 10},
+        {"fopen", 200},   {"fclose", 120},   {"fread", 60},
+        {"fwrite", 60},   {"fgetc", 8},      {"fputc", 8},
+        {"feof", 4},      {"fseek", 30},     {"ftell", 6},
+        {"sqrt", 18},     {"sin", 30},       {"cos", 30},
+        {"tan", 35},      {"exp", 30},       {"log", 30},
+        {"pow", 45},      {"fabs", 2},       {"floor", 4},
+        {"ceil", 4},      {"fmod", 20},      {"abs", 2},
+        {"labs", 2},      {"strlen", 10},    {"strcpy", 12},
+        {"strncpy", 12},  {"strcmp", 10},    {"strncmp", 10},
+        {"strcat", 14},   {"memcpy", 16},    {"memmove", 18},
+        {"memset", 12},   {"memcmp", 12},    {"atoi", 20},
+        {"atof", 30},     {"exit", 10},      {"rand", 12},
+        {"srand", 4},     {"nol.sizeof", 0}, {"__machine_asm", 1},
+        {"__syscall", 150},
+    };
+    auto it = kCosts.find(name);
+    return it == kCosts.end() ? 25 : it->second;
+}
+
+bool
+isMathBuiltin(const std::string &name)
+{
+    static const std::set<std::string> kMath = {
+        "sqrt", "sin", "cos", "tan", "exp", "log", "pow", "fabs",
+        "floor", "ceil", "fmod",
+    };
+    return kMath.count(name) != 0;
+}
+
+} // namespace nol::sim

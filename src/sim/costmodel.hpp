@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Abstract instruction cost model. Every IR instruction costs a small
+ * number of "cost units"; a machine's ArchSpec converts units to
+ * simulated nanoseconds (the mobile spec converts ~5.5x slower than the
+ * server spec, matching the paper's Table 1 performance gap). External
+ * (builtin) calls carry base costs plus per-byte costs where relevant.
+ */
+#ifndef NOL_SIM_COSTMODEL_HPP
+#define NOL_SIM_COSTMODEL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "ir/instruction.hpp"
+
+namespace nol::sim {
+
+/** Cost units of one execution of @p op. */
+constexpr uint64_t
+opcodeCost(ir::Opcode op)
+{
+    using ir::Opcode;
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+        return 3;
+      case Opcode::SDiv:
+      case Opcode::UDiv:
+      case Opcode::SRem:
+      case Opcode::URem:
+        return 12;
+      case Opcode::FDiv:
+        return 16;
+      case Opcode::Mul:
+      case Opcode::FMul:
+        return 3;
+      case Opcode::FAdd:
+      case Opcode::FSub:
+        return 2;
+      case Opcode::Call:
+      case Opcode::CallIndirect:
+        return 6;
+      case Opcode::Alloca:
+        return 1;
+      default:
+        return 1;
+    }
+}
+
+/** True for opcodes subject to ArchSpec::memCostScale. */
+constexpr bool
+isMemHeavy(ir::Opcode op)
+{
+    return op == ir::Opcode::Load || op == ir::Opcode::Store;
+}
+
+/** True for opcodes subject to ArchSpec::arithCostScale. */
+constexpr bool
+isArithHeavy(ir::Opcode op)
+{
+    using ir::Opcode;
+    switch (op) {
+      case Opcode::Mul:
+      case Opcode::SDiv:
+      case Opcode::UDiv:
+      case Opcode::SRem:
+      case Opcode::URem:
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Base cost units of a builtin call (excluding per-byte parts). */
+uint64_t externalBaseCost(const std::string &name);
+
+/** True if builtin @p name is a math-library call (arith scaling). */
+bool isMathBuiltin(const std::string &name);
+
+/** Additional cost units for @p bytes moved by a builtin (memcpy...). */
+constexpr uint64_t
+perByteCost(uint64_t bytes)
+{
+    return bytes / 8;
+}
+
+} // namespace nol::sim
+
+#endif // NOL_SIM_COSTMODEL_HPP

@@ -1,0 +1,141 @@
+#include "sim/pagedmemory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nol::sim {
+
+Page &
+PagedMemory::pageFor(uint64_t page_num, bool for_write)
+{
+    auto it = pages_.find(page_num);
+    if (it == pages_.end()) {
+        ++faults_;
+        if (fault_handler_ != nullptr) {
+            if (!fault_handler_(page_num)) {
+                panic("unhandled page fault at page 0x%llx",
+                      static_cast<unsigned long long>(page_num));
+            }
+            it = pages_.find(page_num);
+            if (it == pages_.end()) {
+                if (!auto_zero_) {
+                    panic("fault handler did not install page 0x%llx",
+                          static_cast<unsigned long long>(page_num));
+                }
+                it = pages_.emplace(page_num, Page()).first;
+            }
+        } else if (auto_zero_) {
+            it = pages_.emplace(page_num, Page()).first;
+        } else {
+            panic("access to unmapped page 0x%llx with no fault handler",
+                  static_cast<unsigned long long>(page_num));
+        }
+    }
+    if (touch_observer_ != nullptr)
+        touch_observer_(page_num, for_write);
+    if (for_write)
+        it->second.dirty = true;
+    return it->second;
+}
+
+void
+PagedMemory::read(uint64_t addr, uint64_t size, uint8_t *out)
+{
+    while (size > 0) {
+        uint64_t page_num = pageOf(addr);
+        uint64_t offset = addr % kPageSize;
+        uint64_t chunk = std::min(size, kPageSize - offset);
+        Page &page = pageFor(page_num, /*for_write=*/false);
+        std::memcpy(out, page.data.get() + offset, chunk);
+        addr += chunk;
+        out += chunk;
+        size -= chunk;
+    }
+}
+
+void
+PagedMemory::write(uint64_t addr, uint64_t size, const uint8_t *src)
+{
+    while (size > 0) {
+        uint64_t page_num = pageOf(addr);
+        uint64_t offset = addr % kPageSize;
+        uint64_t chunk = std::min(size, kPageSize - offset);
+        Page &page = pageFor(page_num, /*for_write=*/true);
+        std::memcpy(page.data.get() + offset, src, chunk);
+        addr += chunk;
+        src += chunk;
+        size -= chunk;
+    }
+}
+
+void
+PagedMemory::installPage(uint64_t page_num, const uint8_t *data)
+{
+    Page &page = pages_[page_num];
+    if (data != nullptr)
+        std::memcpy(page.data.get(), data, kPageSize);
+    else
+        std::memset(page.data.get(), 0, kPageSize);
+    page.dirty = false;
+}
+
+const uint8_t *
+PagedMemory::pageData(uint64_t page_num) const
+{
+    auto it = pages_.find(page_num);
+    NOL_ASSERT(it != pages_.end(), "pageData of absent page 0x%llx",
+               static_cast<unsigned long long>(page_num));
+    return it->second.data.get();
+}
+
+void
+PagedMemory::dropPage(uint64_t page_num)
+{
+    pages_.erase(page_num);
+}
+
+void
+PagedMemory::clear()
+{
+    pages_.clear();
+}
+
+std::vector<uint64_t>
+PagedMemory::dirtyPages() const
+{
+    std::vector<uint64_t> out;
+    for (const auto &[num, page] : pages_) {
+        if (page.dirty)
+            out.push_back(num);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<uint64_t>
+PagedMemory::presentPages() const
+{
+    std::vector<uint64_t> out;
+    out.reserve(pages_.size());
+    for (const auto &[num, page] : pages_)
+        out.push_back(num);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+PagedMemory::clearDirtyBits()
+{
+    for (auto &[num, page] : pages_)
+        page.dirty = false;
+}
+
+void
+PagedMemory::clearDirty(uint64_t page_num)
+{
+    auto it = pages_.find(page_num);
+    if (it != pages_.end())
+        it->second.dirty = false;
+}
+
+} // namespace nol::sim

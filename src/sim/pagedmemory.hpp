@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Paged virtual memory of one simulated machine. Pages materialize on
+ * first touch: either auto-zeroed (the owning machine's own memory) or
+ * through a fault handler (the server's copy-on-demand view of the
+ * mobile device's memory, paper Sec. 4 / Fig. 5). Dirty bits drive the
+ * write-back of modified pages at task finalization.
+ */
+#ifndef NOL_SIM_PAGEDMEMORY_HPP
+#define NOL_SIM_PAGEDMEMORY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace nol::sim {
+
+/** Bytes per page (matches the common 4 KiB OS page). */
+constexpr uint64_t kPageSize = 4096;
+
+/** Page number containing @p addr. */
+constexpr uint64_t
+pageOf(uint64_t addr)
+{
+    return addr / kPageSize;
+}
+
+/** One materialized physical page. */
+struct Page {
+    std::unique_ptr<uint8_t[]> data;
+    bool dirty = false;
+
+    Page() : data(new uint8_t[kPageSize]()) {}
+};
+
+/** Sparse page-table-backed memory. */
+class PagedMemory
+{
+  public:
+    /**
+     * Fault handler: called when a non-present page is touched. Must
+     * install the page (installPage) and return true, or return false
+     * to signal an unrecoverable access (panic).
+     */
+    using FaultHandler = std::function<bool(uint64_t page_num)>;
+
+    /** Observer invoked on every access (profiling hooks). */
+    using TouchObserver =
+        std::function<void(uint64_t page_num, bool is_write)>;
+
+    /** @param auto_zero materialize untouched pages as zero-fill. */
+    explicit PagedMemory(bool auto_zero = true) : auto_zero_(auto_zero) {}
+
+    void setFaultHandler(FaultHandler handler)
+    {
+        fault_handler_ = std::move(handler);
+    }
+
+    void setTouchObserver(TouchObserver observer)
+    {
+        touch_observer_ = std::move(observer);
+    }
+
+    /** Read @p size bytes at @p addr into @p out. */
+    void read(uint64_t addr, uint64_t size, uint8_t *out);
+
+    /** Write @p size bytes at @p addr, marking pages dirty. */
+    void write(uint64_t addr, uint64_t size, const uint8_t *src);
+
+    /** True if the page containing @p addr is materialized. */
+    bool isPresent(uint64_t page_num) const
+    {
+        return pages_.count(page_num) != 0;
+    }
+
+    /**
+     * Install @p data (kPageSize bytes, or nullptr for zero-fill) as
+     * page @p page_num, replacing any existing contents. The installed
+     * page starts clean.
+     */
+    void installPage(uint64_t page_num, const uint8_t *data);
+
+    /** Raw bytes of a present page (read-only). */
+    const uint8_t *pageData(uint64_t page_num) const;
+
+    /** Drop a page entirely (used to reset the server between tasks). */
+    void dropPage(uint64_t page_num);
+
+    /** Drop every page. */
+    void clear();
+
+    /** Page numbers of all dirty pages, ascending. */
+    std::vector<uint64_t> dirtyPages() const;
+
+    /** Page numbers of all present pages, ascending. */
+    std::vector<uint64_t> presentPages() const;
+
+    /** Clear the dirty bit of every page. */
+    void clearDirtyBits();
+
+    /** Mark one page clean. */
+    void clearDirty(uint64_t page_num);
+
+    uint64_t pageCount() const { return pages_.size(); }
+    uint64_t faultCount() const { return faults_; }
+
+  private:
+    Page &pageFor(uint64_t page_num, bool for_write);
+
+    std::unordered_map<uint64_t, Page> pages_;
+    FaultHandler fault_handler_;
+    TouchObserver touch_observer_;
+    bool auto_zero_;
+    uint64_t faults_ = 0;
+};
+
+} // namespace nol::sim
+
+#endif // NOL_SIM_PAGEDMEMORY_HPP

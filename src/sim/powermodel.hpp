@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Battery/power model of the mobile device, reproducing the power
+ * states the paper measured with a Monsoon monitor (Sec. 5.2, Fig. 8):
+ * idle ~300 mW, waiting for the server ~1350 mW, receiving ~2000 mW,
+ * transmitting 2000–5000 mW, and local computation. Energy is the
+ * integral of state power over simulated time; the recorded timeline
+ * regenerates the Fig. 8 power-vs-time traces.
+ */
+#ifndef NOL_SIM_POWERMODEL_HPP
+#define NOL_SIM_POWERMODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace nol::sim {
+
+/** Mobile-device power states. */
+enum class PowerState {
+    Idle,     ///< screen-on idle (~300 mW)
+    Compute,  ///< CPU busy with local execution
+    Waiting,  ///< blocked on the server (~1350 mW)
+    Receive,  ///< radio receiving (~2000 mW fast / ~1700 mW slow)
+    Transmit, ///< radio transmitting (2000–5000 mW)
+};
+
+/** Printable name of a power state. */
+const char *powerStateName(PowerState state);
+
+/** One constant-power segment of the timeline. */
+struct PowerSegment {
+    double startNs = 0;
+    double endNs = 0;
+    PowerState state = PowerState::Idle;
+    double milliwatts = 0;
+};
+
+/** Integrates power over simulated time and records the trace. */
+class PowerModel
+{
+  public:
+    PowerModel();
+
+    /** Override the power draw of @p state in milliwatts. */
+    void setRate(PowerState state, double milliwatts);
+
+    /** Power draw of @p state in milliwatts. */
+    double rate(PowerState state) const;
+
+    /**
+     * Account @p duration_ns of simulated time spent in @p state,
+     * starting at @p start_ns. Adjacent same-state segments merge.
+     */
+    void accumulate(double start_ns, double duration_ns, PowerState state);
+
+    /** Total energy in millijoules. */
+    double energyMillijoules() const { return energy_mj_; }
+
+    /** Recorded trace for Fig. 8-style plots. */
+    const std::vector<PowerSegment> &timeline() const { return timeline_; }
+
+    /**
+     * Average power (mW) over [from_ns, to_ns], sampling the timeline;
+     * gaps count as idle.
+     */
+    double averagePower(double from_ns, double to_ns) const;
+
+    /** Total simulated seconds spent in @p state. */
+    double secondsInState(PowerState state) const;
+
+    /** Forget everything. */
+    void reset();
+
+  private:
+    double rates_[5];
+    double energy_mj_ = 0;
+    std::vector<PowerSegment> timeline_;
+};
+
+} // namespace nol::sim
+
+#endif // NOL_SIM_POWERMODEL_HPP

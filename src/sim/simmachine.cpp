@@ -1,0 +1,55 @@
+#include "sim/simmachine.hpp"
+
+namespace nol::sim {
+
+SimMachine::SimMachine(MachineRole role, arch::ArchSpec spec)
+    : role_(role),
+      name_(role == MachineRole::Mobile ? "mobile" : "server"),
+      spec_(std::move(spec)),
+      mem_(/*auto_zero=*/true),
+      native_heap_(role == MachineRole::Mobile || spec_.pointerSize == 4
+                       ? kNativeHeapBase
+                       : kServer64HeapBase,
+                   kNativeHeapSize)
+{
+}
+
+void
+SimMachine::advanceCompute(uint64_t cost_units)
+{
+    compute_units_ += cost_units;
+    double ns = static_cast<double>(cost_units) * spec_.nsPerCostUnit;
+    power_.accumulate(now_ns_, ns, compute_state_);
+    now_ns_ += ns;
+}
+
+void
+SimMachine::advanceTime(double ns, PowerState state)
+{
+    if (ns <= 0)
+        return;
+    power_.accumulate(now_ns_, ns, state);
+    now_ns_ += ns;
+}
+
+void
+SimMachine::syncTo(double ns, PowerState state)
+{
+    if (ns > now_ns_)
+        advanceTime(ns - now_ns_, state);
+}
+
+void
+SimMachine::reset()
+{
+    mem_.clear();
+    native_heap_.reset();
+    now_ns_ = 0;
+    compute_units_ = 0;
+    power_.reset();
+    console_.clear();
+    input_pos_ = 0;
+    stats_.clear();
+}
+
+} // namespace nol::sim

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * One simulated machine (the mobile device or the server): an ArchSpec,
+ * paged memory, a native heap, a simulated clock and — on the mobile
+ * side — the power model, console, input script and file system.
+ *
+ * The address-space map below is shared by both machines so that the
+ * UVA regions coincide while the machine-local regions deliberately
+ * differ (modeling "back-end compilers may allocate global variables at
+ * different addresses", paper Sec. 3.2):
+ *
+ *   0x0800'0000  mobile-local globals
+ *   0x1800'0000  server-local globals
+ *   0x2000'0000  mobile-local native heap (non-unified runs)
+ *   0x4000'0000  UVA heap (u_malloc; identical on both machines)
+ *   0xA800'0000  server stack (relocated, paper Sec. 3.3), grows down
+ *   0xBF00'0000  mobile stack, grows down
+ *   0x7f00'0000'0000  server-local native heap (64-bit only)
+ */
+#ifndef NOL_SIM_SIMMACHINE_HPP
+#define NOL_SIM_SIMMACHINE_HPP
+
+#include <string>
+
+#include "arch/archspec.hpp"
+#include "sim/filesystem.hpp"
+#include "sim/heapalloc.hpp"
+#include "sim/pagedmemory.hpp"
+#include "sim/powermodel.hpp"
+#include "support/stats.hpp"
+
+namespace nol::sim {
+
+// Address-space map constants (see file comment).
+constexpr uint64_t kMobileGlobalBase = 0x0800'0000ull;
+constexpr uint64_t kServerGlobalBase = 0x1800'0000ull;
+constexpr uint64_t kNativeHeapBase = 0x2000'0000ull;
+constexpr uint64_t kNativeHeapSize = 0x1800'0000ull;
+constexpr uint64_t kUvaHeapBase = 0x4000'0000ull;
+constexpr uint64_t kUvaHeapSize = 0x6000'0000ull;
+constexpr uint64_t kServerStackBase = 0xA800'0000ull; // grows down
+constexpr uint64_t kMobileStackBase = 0xBF00'0000ull; // grows down
+constexpr uint64_t kStackSize = 0x0100'0000ull;
+constexpr uint64_t kServer64HeapBase = 0x7f00'0000'0000ull;
+
+/** Which role a machine plays in the offloading system. */
+enum class MachineRole {
+    Mobile,
+    Server,
+};
+
+/** One simulated machine. */
+class SimMachine
+{
+  public:
+    SimMachine(MachineRole role, arch::ArchSpec spec);
+
+    MachineRole role() const { return role_; }
+    const std::string &name() const { return name_; }
+    const arch::ArchSpec &spec() const { return spec_; }
+
+    PagedMemory &mem() { return mem_; }
+    const PagedMemory &mem() const { return mem_; }
+
+    /** Machine-local heap (native malloc when not unified). */
+    HeapAllocator &nativeHeap() { return native_heap_; }
+
+    /** Base address where this machine's loader places globals. */
+    uint64_t globalBase() const
+    {
+        return role_ == MachineRole::Mobile ? kMobileGlobalBase
+                                            : kServerGlobalBase;
+    }
+
+    /** Top of this machine's stack region (stack grows down). */
+    uint64_t stackBase() const
+    {
+        return role_ == MachineRole::Mobile ? kMobileStackBase
+                                            : kServerStackBase;
+    }
+
+    // --- Clock and power -----------------------------------------------
+    double nowNs() const { return now_ns_; }
+
+    /**
+     * Override the ns-per-cost-unit conversion (used by the "ideal
+     * offloading" mode that executes targets at server speed with zero
+     * overhead). Returns the previous value.
+     */
+    double
+    setNsPerCostUnit(double ns)
+    {
+        double old = spec_.nsPerCostUnit;
+        spec_.nsPerCostUnit = ns;
+        return old;
+    }
+
+    /** Override arithCostScale (ideal-offload mode); returns old. */
+    double
+    setArithCostScale(double scale)
+    {
+        double old = spec_.arithCostScale;
+        spec_.arithCostScale = scale;
+        return old;
+    }
+
+    /** Override memCostScale (ideal-offload mode); returns old. */
+    double
+    setMemCostScale(double scale)
+    {
+        double old = spec_.memCostScale;
+        spec_.memCostScale = scale;
+        return old;
+    }
+
+    /**
+     * Power state charged for compute time (normally Compute; the
+     * ideal-offload mode bills target execution as Waiting).
+     */
+    PowerState computeState() const { return compute_state_; }
+    PowerState
+    setComputeState(PowerState state)
+    {
+        PowerState old = compute_state_;
+        compute_state_ = state;
+        return old;
+    }
+
+    /** Advance the clock by @p cost_units of computation. */
+    void advanceCompute(uint64_t cost_units);
+
+    /** Advance the clock by raw @p ns in @p state (I/O, waiting...). */
+    void advanceTime(double ns, PowerState state);
+
+    /** Jump the clock forward to @p ns in @p state (synchronization). */
+    void syncTo(double ns, PowerState state);
+
+    PowerModel &power() { return power_; }
+    const PowerModel &power() const { return power_; }
+
+    /** Accumulated compute cost units (the machine's "work counter"). */
+    uint64_t computeUnits() const { return compute_units_; }
+
+    // --- Console / input / files ------------------------------------------
+    std::string &console() { return console_; }
+    const std::string &console() const { return console_; }
+
+    /** Script consumed by scanf(). */
+    void setInput(std::string text)
+    {
+        input_ = std::move(text);
+        input_pos_ = 0;
+    }
+    std::string &input() { return input_; }
+    size_t &inputPos() { return input_pos_; }
+
+    SimFileSystem &fs() { return fs_; }
+
+    StatRegistry &stats() { return stats_; }
+
+    /** Reset clock, power, console and memory (not the file system). */
+    void reset();
+
+  private:
+    MachineRole role_;
+    std::string name_;
+    arch::ArchSpec spec_;
+    PagedMemory mem_;
+    HeapAllocator native_heap_;
+    double now_ns_ = 0;
+    uint64_t compute_units_ = 0;
+    PowerState compute_state_ = PowerState::Compute;
+    PowerModel power_;
+    std::string console_;
+    std::string input_;
+    size_t input_pos_ = 0;
+    SimFileSystem fs_;
+    StatRegistry stats_;
+};
+
+} // namespace nol::sim
+
+#endif // NOL_SIM_SIMMACHINE_HPP

@@ -1,0 +1,145 @@
+#include "support/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace nol {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            break;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+fixed(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    size_t digits = 0;
+    for (char c : cell) {
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            ++digits;
+        else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'x' &&
+                 c != '*' && c != 'e' && c != 'E')
+            return false;
+    }
+    return digits > 0;
+}
+
+} // namespace
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths;
+    auto account = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto &r : rows_)
+        account(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells, bool align_right) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            bool right = align_right && looksNumeric(cell);
+            if (i != 0)
+                os << "  ";
+            if (right)
+                os << std::string(widths[i] - cell.size(), ' ') << cell;
+            else
+                os << cell << std::string(widths[i] - cell.size(), ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_, false);
+        size_t total = 0;
+        for (size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i == 0 ? 0 : 2);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r, true);
+    return os.str();
+}
+
+} // namespace nol

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small string utilities shared across the project: splitting, joining,
+ * trimming, numeric rendering with fixed precision, and simple table
+ * formatting used by the bench binaries.
+ */
+#ifndef NOL_SUPPORT_STRINGS_HPP
+#define NOL_SUPPORT_STRINGS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nol {
+
+/** Split @p text on @p sep; empty fields are preserved. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts, std::string_view sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(std::string_view text);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** True if @p text ends with @p suffix. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** Render @p value with @p digits digits after the decimal point. */
+std::string fixed(double value, int digits);
+
+/**
+ * Fixed-width text table builder for bench output. Columns are sized to
+ * the widest cell; numeric-looking cells are right-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table with a separator line under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nol
+
+#endif // NOL_SUPPORT_STRINGS_HPP

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The paper's running example: the chess AI game of Fig. 3, used for
+ * Table 1 (mobile-vs-server move computation time across difficulty
+ * levels) and Table 3 (profiling + static estimation). Structure
+ * mirrors Fig. 3(a): runGame alternates getPlayerTurn (interactive —
+ * machine specific) with getAITurn, whose for_i/for_j loops evaluate
+ * pieces through the evals[] function-pointer table; a recursive
+ * minimax underneath makes cost grow with the difficulty level.
+ */
+#include "workloads/workloads.hpp"
+
+#include "support/strings.hpp"
+
+namespace nol::workloads {
+
+namespace {
+
+const char *kChessSource = R"(
+typedef struct { char from; char to; double score; } Move;
+typedef struct { char loc; char owner; char type; } Piece;
+typedef double (*EVALFUNC)(Piece*);
+
+int maxDepth;
+Piece* board;
+int turnsLeft;
+
+double evalPawn(Piece* p)   { return 1.0 + (double)p->loc * 0.01; }
+double evalKnight(Piece* p) { return 3.0 - (double)(p->loc % 5) * 0.02; }
+double evalBishop(Piece* p) { return 3.2 + (double)(p->loc % 7) * 0.01; }
+double evalRook(Piece* p)   { return 5.0 + (double)(p->loc % 3) * 0.03; }
+double evalQueen(Piece* p)  { return 9.0 - (double)(p->loc % 11) * 0.01; }
+double evalKing(Piece* p)   { return 99.0 + (double)p->loc * 0.001; }
+
+EVALFUNC evals[6] = {
+    evalPawn, evalKnight, evalBishop, evalRook, evalQueen, evalKing
+};
+
+double minimax(int depth, int idx) {
+    Piece* p = &board[idx % 64];
+    if (depth == 0) {
+        EVALFUNC eval = evals[p->type % 6];
+        return eval(p);
+    }
+    double best = -1.0e30;
+    for (int m = 0; m < 2; m++) {
+        double v = -minimax(depth - 1, idx * 3 + m + 1);
+        if (v > best) best = v;
+    }
+    return best + (double)(p->owner) * 0.001;
+}
+
+void getAITurn(Move* mv) {
+    mv->score = 0.0;
+    for (int i = 0; i < maxDepth; i++) {
+        for (int j = 0; j < 64; j++) {
+            char pieceType = board[j].type;
+            EVALFUNC eval = evals[pieceType % 6];
+            mv->score += eval(&board[j]) + minimax(i, j) * 0.0001;
+        }
+        printf("%f\n", mv->score);
+    }
+    mv->from = (char)((int)mv->score % 64);
+    mv->to = (char)(((int)mv->score + 7) % 64);
+}
+
+void getPlayerTurn(Move* mv) {
+    int from; int to;
+    scanf("%d %d", &from, &to);
+    mv->from = (char)from;
+    mv->to = (char)to;
+}
+
+void updateBoard(Move* mv) {
+    Piece* src = &board[mv->from % 64];
+    Piece* dst = &board[mv->to % 64];
+    dst->type = src->type;
+    dst->owner = src->owner;
+}
+
+void runGame() {
+    Move mv;
+    while (turnsLeft > 0) {
+        getPlayerTurn(&mv);
+        updateBoard(&mv);
+        getAITurn(&mv);
+        updateBoard(&mv);
+        turnsLeft--;
+    }
+}
+
+int main() {
+    scanf("%d %d", &maxDepth, &turnsLeft);
+    board = (Piece*)malloc(sizeof(Piece) * 64);
+    for (int j = 0; j < 64; j++) {
+        board[j].loc = (char)j;
+        board[j].owner = (char)(j % 2);
+        board[j].type = (char)(j % 6);
+    }
+    runGame();
+    return 0;
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeChess(int max_depth)
+{
+    WorkloadSpec spec;
+    spec.id = "chess";
+    spec.description = "Chess AI game (paper Fig. 3 running example)";
+    spec.source = kChessSource;
+    spec.expectedTarget = "getAITurn";
+    spec.memScale = 8.0;
+
+    // Three turns, like Table 3's 3 getAITurn invocations.
+    spec.profilingInput.stdinText =
+        strformat("%d 3 1 2 3 4 5 6", std::max(1, max_depth - 2));
+    spec.evalInput.stdinText = strformat("%d 3 8 9 10 11 12 13", max_depth);
+
+    spec.paper = {26.0, 96.0, 3, 12.0, "getAITurn", 0.3, true};
+    return spec;
+}
+
+} // namespace nol::workloads

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * 164.gzip — Compression. The paper's row: 15.3 s on the smartphone,
+ * target spec_compress (98.90% coverage, 1 invocation, 151.5 MB of
+ * traffic — the most bandwidth-hungry per second of compute, which is
+ * why the dynamic estimator refuses it on 802.11n and why it is the
+ * one program whose *battery* gets worse when offloaded).
+ *
+ * The miniature: an LZ77-style compressor with a hash-chain matcher
+ * over a file-loaded input buffer. Input, output and hash table all
+ * travel to the server; the compressed output pages come back dirty.
+ */
+#include "workloads/wl_common.hpp"
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { HSIZE = 4096, MAXBUF = 65536 };
+
+unsigned char* inbuf;
+unsigned char* outbuf;
+int* head;
+int inlen;
+int outlen;
+
+void spec_compress() {
+    outlen = 0;
+    for (int i = 0; i < HSIZE; i++) head[i] = -1;
+    int pos = 0;
+    while (pos + 3 < inlen) {
+        int h = ((inbuf[pos] << 7) ^ (inbuf[pos + 1] << 3) ^
+                 inbuf[pos + 2]) & (HSIZE - 1);
+        int cand = head[h];
+        head[h] = pos;
+        int len = 0;
+        if (cand >= 0 && pos - cand < 4096) {
+            while (len < 18 && pos + len < inlen &&
+                   inbuf[cand + len] == inbuf[pos + len]) {
+                len++;
+            }
+        }
+        if (len >= 3) {
+            outbuf[outlen] = 255;
+            outbuf[outlen + 1] = (unsigned char)(pos - cand);
+            outbuf[outlen + 2] = (unsigned char)len;
+            outlen += 3;
+            pos += len;
+        } else {
+            outbuf[outlen] = inbuf[pos];
+            outlen++;
+            pos++;
+        }
+    }
+    printf("compressed %d -> %d bytes\n", inlen, outlen);
+}
+
+int main() {
+    int requested;
+    scanf("%d", &requested);
+    inbuf = (unsigned char*)malloc(MAXBUF);
+    outbuf = (unsigned char*)malloc(MAXBUF + MAXBUF / 8);
+    head = (int*)malloc(sizeof(int) * HSIZE);
+    void* f = fopen("input.raw", "r");
+    if (!f) return 1;
+    inlen = (int)fread(inbuf, 1, requested, f);
+    fclose(f);
+    spec_compress();
+    return outlen % 97;
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeGzip()
+{
+    WorkloadSpec spec;
+    spec.id = "164.gzip";
+    spec.description = "Compression";
+    spec.source = kSource;
+    spec.expectedTarget = "spec_compress";
+    spec.memScale = 4000.0;
+
+    std::string data = synthBytes(16384, 0x164, 24, 96);
+    spec.profilingInput.stdinText = "512";
+    spec.profilingInput.files["input.raw"] = data;
+    spec.evalInput.stdinText = "1500";
+    spec.evalInput.files["input.raw"] = data;
+
+    spec.paper = {15.3, 98.90, 1, 151.5, "spec_compress", 5.5,
+                  /*offloadedOnSlow=*/false};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

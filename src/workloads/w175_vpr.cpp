@@ -1,0 +1,108 @@
+/**
+ * @file
+ * 175.vpr — FPGA placement. Paper row: 26.9 s, target
+ * try_place_while.cond (a LOOP target: try_place itself reads its
+ * annealing schedule interactively, so only its inner while loop is
+ * offloadable), 99.07% coverage, 1 invocation, a mere 0.8 MB of
+ * traffic — vpr is one of the near-ideal-speedup programs.
+ *
+ * The miniature: simulated-annealing placement of blocks on a grid
+ * minimizing wirelength, with a deterministic LCG accept rule.
+ */
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { GRID = 48, NBLOCKS = 512, NNETS = 1024 };
+
+int* blockx;
+int* blocky;
+int* neta;
+int* netb;
+long cost;
+unsigned int rngState;
+
+int netCost(int n) {
+    int dx = blockx[neta[n]] - blockx[netb[n]];
+    int dy = blocky[neta[n]] - blocky[netb[n]];
+    if (dx < 0) dx = -dx;
+    if (dy < 0) dy = -dy;
+    return dx + dy;
+}
+
+unsigned int nextRand() {
+    rngState = rngState * 1103515245 + 12345;
+    return (rngState >> 16) & 0x7fff;
+}
+
+void try_place(int sweeps) {
+    int temperature;
+    scanf("%d", &temperature);
+    int iter = 0;
+    int limit = sweeps * NNETS;
+    while (iter < limit) {
+        int n = (int)(nextRand() % NNETS);
+        int b = neta[n];
+        int before = netCost(n);
+        int oldx = blockx[b];
+        int oldy = blocky[b];
+        blockx[b] = (int)(nextRand() % GRID);
+        blocky[b] = (int)(nextRand() % GRID);
+        int after = netCost(n);
+        int delta = after - before;
+        if (delta > 0 && (int)(nextRand() % 1000) > temperature) {
+            blockx[b] = oldx;
+            blocky[b] = oldy;
+        } else {
+            cost += delta;
+        }
+        iter++;
+    }
+}
+
+int main() {
+    int sweeps;
+    scanf("%d", &sweeps);
+    blockx = (int*)malloc(sizeof(int) * NBLOCKS);
+    blocky = (int*)malloc(sizeof(int) * NBLOCKS);
+    neta = (int*)malloc(sizeof(int) * NNETS);
+    netb = (int*)malloc(sizeof(int) * NNETS);
+    rngState = 20151;
+    for (int i = 0; i < NBLOCKS; i++) {
+        blockx[i] = (i * 17 + 3) % GRID;
+        blocky[i] = (i * 29 + 11) % GRID;
+    }
+    cost = 0;
+    for (int n = 0; n < NNETS; n++) {
+        neta[n] = (n * 13 + 5) & (NBLOCKS - 1);
+        netb[n] = (n * 89 + 41) & (NBLOCKS - 1);
+    }
+    try_place(sweeps);
+    printf("final wirelength %ld\n", cost);
+    return (int)(cost % 89);
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeVpr()
+{
+    WorkloadSpec spec;
+    spec.id = "175.vpr";
+    spec.description = "FPGA Simulation";
+    spec.source = kSource;
+    spec.expectedTarget = "try_place_while.cond";
+    spec.memScale = 26.0;
+
+    spec.profilingInput.stdinText = "1 300";
+    spec.evalInput.stdinText = "1 300";
+
+    spec.paper = {26.9, 99.07, 1, 0.8, "try_place_while.cond", 11.3, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

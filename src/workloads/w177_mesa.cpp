@@ -1,0 +1,119 @@
+/**
+ * @file
+ * 177.mesa — 3-D graphics library. Paper row: 120.2 s, target Render
+ * (99.02%, 1 invocation, 20.3 MB traffic) and a very large
+ * function-pointer count (1169 uses: Mesa dispatches per-fragment
+ * operations through tables).
+ *
+ * The miniature: a software rasterizer — transform, z-buffered
+ * triangle fill and a fragment shader dispatched through a function
+ * pointer table — over a framebuffer that returns dirty.
+ */
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { W = 96, H = 64, NTRI = 8 };
+
+typedef double (*SHADER)(double, double, double);
+
+double shadeFlat(double x, double y, double z) {
+    return z * 0.8 + 0.2;
+}
+double shadeGouraud(double x, double y, double z) {
+    return (x / (double)W) * 0.5 + (y / (double)H) * 0.3 + z * 0.2;
+}
+double shadePhongish(double x, double y, double z) {
+    double nx = x / (double)W - 0.5;
+    double ny = y / (double)H - 0.5;
+    double spec = nx * nx + ny * ny;
+    return z * 0.6 + spec * 1.5;
+}
+
+SHADER shaders[3] = { shadeFlat, shadeGouraud, shadePhongish };
+
+float* framebuf;
+float* zbuf;
+double* tris; /* 9 doubles per triangle: 3 x (x,y,z) */
+int frames;
+
+void Render() {
+    for (int f = 0; f < frames; f++) {
+        for (int p = 0; p < W * H; p++) { framebuf[p] = 0.0; zbuf[p] = 1.0; }
+        for (int t = 0; t < NTRI; t++) {
+            double* v = tris + t * 9;
+            double ang = (double)f * 0.05;
+            double minx = v[0]; double maxx = v[0];
+            double miny = v[1]; double maxy = v[1];
+            for (int k = 1; k < 3; k++) {
+                if (v[k*3] < minx) minx = v[k*3];
+                if (v[k*3] > maxx) maxx = v[k*3];
+                if (v[k*3+1] < miny) miny = v[k*3+1];
+                if (v[k*3+1] > maxy) maxy = v[k*3+1];
+            }
+            int x0 = (int)minx; int x1 = (int)maxx;
+            int y0 = (int)miny; int y1 = (int)maxy;
+            if (x0 < 0) x0 = 0;
+            if (y0 < 0) y0 = 0;
+            if (x1 >= W) x1 = W - 1;
+            if (y1 >= H) y1 = H - 1;
+            SHADER shade = shaders[t % 3];
+            double zavg = (v[2] + v[5] + v[8]) / 3.0 + ang * 0.001;
+            for (int y = y0; y <= y1; y++) {
+                for (int x = x0; x <= x1; x++) {
+                    int idx = y * W + x;
+                    double z = zavg + (double)(x + y) * 0.0001;
+                    if ((float)z < zbuf[idx]) {
+                        zbuf[idx] = (float)z;
+                        framebuf[idx] =
+                            (float)shade((double)x, (double)y, z);
+                    }
+                }
+            }
+        }
+    }
+    double checksum = 0.0;
+    for (int p = 0; p < W * H; p += 17) checksum += framebuf[p];
+    printf("render checksum %.4f\n", checksum);
+}
+
+int main() {
+    scanf("%d", &frames);
+    framebuf = (float*)malloc(sizeof(float) * W * H);
+    zbuf = (float*)malloc(sizeof(float) * W * H);
+    tris = (double*)malloc(sizeof(double) * NTRI * 9);
+    unsigned int s = 77;
+    for (int i = 0; i < NTRI * 9; i++) {
+        s = s * 1103515245 + 12345;
+        int axis = i % 3;
+        double span = axis == 0 ? (double)W : (axis == 1 ? (double)H : 1.0);
+        tris[i] = (double)((s >> 16) % 1000) / 1000.0 * span;
+    }
+    Render();
+    return frames;
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeMesa()
+{
+    WorkloadSpec spec;
+    spec.id = "177.mesa";
+    spec.description = "3-D Graphic";
+    spec.source = kSource;
+    spec.expectedTarget = "Render";
+    spec.memScale = 330.0;
+
+    spec.profilingInput.stdinText = "1";
+    spec.evalInput.stdinText = "1";
+
+    spec.paper = {120.2, 99.02, 1, 20.3, "Render", 42.2, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * 188.ammp — computational chemistry (molecular mechanics). Paper row:
+ * 878.0 s and the suite's only program with TWO offload targets:
+ * AMMPmonitor (13.53% coverage, 2 invocations, 17.0 MB) and tpac
+ * (85.60%, 1 invocation, 17.6 MB).
+ *
+ * The miniature: tpac integrates Lennard-Jonesish pairwise forces over
+ * the atom set; AMMPmonitor computes full energy statistics twice
+ * (before and after). main reads the run length interactively.
+ */
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { ATOMS = 1200, PAIRCAP = 8 };
+
+double* px; double* py; double* pz;
+double* vx; double* vy; double* vz;
+int* pairs;
+double monitorEnergy;
+
+void AMMPmonitor() {
+    double kinetic = 0.0;
+    double potential = 0.0;
+    for (int rep = 0; rep < 2; rep++) {
+        kinetic = 0.0;
+        potential = 0.0;
+        for (int i = 0; i < ATOMS; i++) {
+            kinetic += vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i];
+            for (int k = 0; k < PAIRCAP; k++) {
+                int j = pairs[i * PAIRCAP + k];
+                double dx = px[i] - px[j];
+                double dy = py[i] - py[j];
+                double dz = pz[i] - pz[j];
+                double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+                potential += 1.0 / (r2 * r2 * r2);
+            }
+        }
+    }
+    monitorEnergy = kinetic * 0.5 + potential;
+    printf("monitor: E=%.5f\n", monitorEnergy);
+}
+
+void tpac(int steps) {
+    for (int t = 0; t < steps; t++) {
+        for (int i = 0; i < ATOMS; i++) {
+            double fx = 0.0; double fy = 0.0; double fz = 0.0;
+            for (int k = 0; k < PAIRCAP; k++) {
+                int j = pairs[i * PAIRCAP + k];
+                double dx = px[i] - px[j];
+                double dy = py[i] - py[j];
+                double dz = pz[i] - pz[j];
+                double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+                double inv = 1.0 / (r2 * r2);
+                fx += dx * inv; fy += dy * inv; fz += dz * inv;
+            }
+            vx[i] = (vx[i] + fx * 0.0001) * 0.999;
+            vy[i] = (vy[i] + fy * 0.0001) * 0.999;
+            vz[i] = (vz[i] + fz * 0.0001) * 0.999;
+        }
+        for (int i = 0; i < ATOMS; i++) {
+            px[i] += vx[i] * 0.01;
+            py[i] += vy[i] * 0.01;
+            pz[i] += vz[i] * 0.01;
+        }
+    }
+}
+
+int main() {
+    int steps;
+    scanf("%d", &steps);
+    px = (double*)malloc(sizeof(double) * ATOMS);
+    py = (double*)malloc(sizeof(double) * ATOMS);
+    pz = (double*)malloc(sizeof(double) * ATOMS);
+    vx = (double*)malloc(sizeof(double) * ATOMS);
+    vy = (double*)malloc(sizeof(double) * ATOMS);
+    vz = (double*)malloc(sizeof(double) * ATOMS);
+    pairs = (int*)malloc(sizeof(int) * ATOMS * PAIRCAP);
+    unsigned int s = 188;
+    for (int i = 0; i < ATOMS; i++) {
+        s = s * 1103515245 + 12345;
+        px[i] = (double)((s >> 16) % 1000) * 0.01;
+        s = s * 1103515245 + 12345;
+        py[i] = (double)((s >> 16) % 1000) * 0.01;
+        s = s * 1103515245 + 12345;
+        pz[i] = (double)((s >> 16) % 1000) * 0.01;
+        vx[i] = 0.0; vy[i] = 0.0; vz[i] = 0.0;
+        for (int k = 0; k < PAIRCAP; k++) {
+            s = s * 1103515245 + 12345;
+            pairs[i * PAIRCAP + k] = (int)((s >> 16) % ATOMS);
+        }
+    }
+    AMMPmonitor();
+    tpac(steps);
+    AMMPmonitor();
+    return ((int)(monitorEnergy * 10.0)) % 83;
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeAmmp()
+{
+    WorkloadSpec spec;
+    spec.id = "188.ammp";
+    spec.description = "Computational Chemistry";
+    spec.source = kSource;
+    spec.expectedTarget = "tpac"; // the dominant one of the two targets
+    spec.memScale = 113.0;
+
+    spec.profilingInput.stdinText = "1";
+    spec.evalInput.stdinText = "2";
+
+    spec.paper = {878.0, 85.60, 1, 17.6, "tpac (+AMMPmonitor)", 9.8, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * 300.twolf — standard-cell place & route. Paper row: 157.8 s, target
+ * utemp, 99.84% coverage, 1 invocation, only 3.3 MB of page traffic —
+ * but twolf "reads a file about cell information to optimally place
+ * cells" DURING offloaded execution, so it is one of the programs
+ * dominated by remote *input* operations (expensive round trips) and
+ * one that burns extra battery servicing them (Sec. 5.2).
+ *
+ * The miniature: an annealing placement pass (utemp) that streams the
+ * cell-description file in small fread chunks while optimizing.
+ */
+#include "workloads/wl_internal.hpp"
+#include "workloads/wl_common.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { CELLS = 1024, ROWS = 32, CHUNK = 512 };
+
+int* cellrow;
+int* cellpos;
+int* affinity;
+long cost;
+unsigned int rngState;
+
+unsigned int nextRand() {
+    rngState = rngState * 1103515245 + 12345;
+    return (rngState >> 16) & 0x7fff;
+}
+
+void utemp(int rounds) {
+    void* f = fopen("cells.dat", "r");
+    unsigned char buf[512];
+    cost = 0;
+    for (int r = 0; r < rounds; r++) {
+        /* Stream the next chunk of cell hints from the (remote) file. */
+        long got = fread(buf, 1, CHUNK, f);
+        if (got <= 0) {
+            fseek(f, 0, 0);
+            got = fread(buf, 1, CHUNK, f);
+        }
+        /* Sample every 8th hint byte of the chunk. */
+        for (int b = 0; b + 64 <= (int)got; b += 128) {
+            int c = (int)((nextRand() + (unsigned int)buf[b]) % CELLS);
+            int oldrow = cellrow[c];
+            cellrow[c] = (int)(buf[b] % ROWS);
+            long delta = 0;
+            for (int k = 0; k < 8; k++) {
+                int other = affinity[c * 12 + k];
+                int d1 = cellrow[c] - cellrow[other];
+                int d0 = oldrow - cellrow[other];
+                if (d1 < 0) d1 = -d1;
+                if (d0 < 0) d0 = -d0;
+                delta += d1 - d0;
+            }
+            if (delta > 0 && (int)(nextRand() % 100) < 60) {
+                cellrow[c] = oldrow;
+            } else {
+                cost += delta;
+            }
+        }
+    }
+    fclose(f);
+    printf("placement delta %ld\n", cost);
+}
+
+int main() {
+    int rounds;
+    scanf("%d", &rounds);
+    cellrow = (int*)malloc(sizeof(int) * CELLS);
+    cellpos = (int*)malloc(sizeof(int) * CELLS);
+    affinity = (int*)malloc(sizeof(int) * CELLS * 12);
+    rngState = 300;
+    for (int c = 0; c < CELLS; c++) {
+        cellrow[c] = (c * 7 + 3) % ROWS;
+        cellpos[c] = (c * 13 + 1) % 512;
+        for (int k = 0; k < 12; k++) {
+            affinity[c * 12 + k] = (c * 31 + k * 97 + 7) & (CELLS - 1);
+        }
+    }
+    utemp(rounds);
+    return (int)(cost % 71);
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeTwolf()
+{
+    WorkloadSpec spec;
+    spec.id = "300.twolf";
+    spec.description = "Place/Route Simulator";
+    spec.source = kSource;
+    spec.expectedTarget = "utemp";
+    spec.memScale = 13.0;
+
+    std::string cells = synthBytes(96 * 1024, 0x300, 96, 10);
+    spec.profilingInput.stdinText = "300";
+    spec.profilingInput.files["cells.dat"] = cells;
+    spec.evalInput.stdinText = "500";
+    spec.evalInput.files["cells.dat"] = cells;
+
+    spec.paper = {157.8, 99.84, 1, 3.3, "utemp", 17.8, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

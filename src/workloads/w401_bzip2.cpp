@@ -1,0 +1,107 @@
+/**
+ * @file
+ * 401.bzip2 — block-sorting compression. Paper row: 27.0 s, target
+ * spec_compress, 98.79% coverage, 1 invocation, 134.3 MB traffic —
+ * like gzip, its whole input and output travel both ways, making it
+ * very sensitive to network bandwidth (Sec. 5.1).
+ *
+ * The miniature: a move-to-front + run-length transform after a
+ * radix-bucketed rotation sort over file-loaded blocks.
+ */
+#include "workloads/wl_common.hpp"
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { MAXBUF = 65536, BLOCK = 4096 };
+
+unsigned char* inbuf;
+unsigned char* outbuf;
+int* bucket;
+int inlen;
+int outlen;
+
+void spec_compress() {
+    unsigned char mtf[256];
+    outlen = 0;
+    for (int b = 0; b * BLOCK < inlen; b++) {
+        unsigned char* blk = inbuf + b * BLOCK;
+        int n = inlen - b * BLOCK;
+        if (n > BLOCK) n = BLOCK;
+
+        /* Radix histogram (stand-in for the block sort). */
+        for (int i = 0; i < 256; i++) bucket[i] = 0;
+        for (int i = 0; i < n; i++) bucket[blk[i]]++;
+
+        /* Move-to-front. */
+        for (int i = 0; i < 256; i++) mtf[i] = (unsigned char)i;
+        int zrun = 0;
+        for (int i = 0; i < n; i++) {
+            unsigned char c = blk[i];
+            int idx = 0;
+            while (mtf[idx] != c) idx++;
+            for (int k = idx; k > 0; k--) mtf[k] = mtf[k - 1];
+            mtf[0] = c;
+            if (idx == 0) {
+                zrun++;
+            } else {
+                if (zrun > 0) {
+                    outbuf[outlen] = 0;
+                    outbuf[outlen + 1] = (unsigned char)zrun;
+                    outlen += 2;
+                    zrun = 0;
+                }
+                outbuf[outlen] = (unsigned char)idx;
+                outlen++;
+            }
+        }
+        if (zrun > 0) {
+            outbuf[outlen] = 0;
+            outbuf[outlen + 1] = (unsigned char)zrun;
+            outlen += 2;
+        }
+    }
+    printf("bzip2'd %d -> %d bytes\n", inlen, outlen);
+}
+
+int main() {
+    int requested;
+    scanf("%d", &requested);
+    inbuf = (unsigned char*)malloc(MAXBUF);
+    outbuf = (unsigned char*)malloc(MAXBUF * 2);
+    bucket = (int*)malloc(sizeof(int) * 256);
+    void* f = fopen("input.raw", "r");
+    if (!f) return 1;
+    inlen = (int)fread(inbuf, 1, requested, f);
+    fclose(f);
+    spec_compress();
+    return outlen % 97;
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeBzip2()
+{
+    WorkloadSpec spec;
+    spec.id = "401.bzip2";
+    spec.description = "Compression";
+    spec.source = kSource;
+    spec.expectedTarget = "spec_compress";
+    spec.memScale = 5400.0;
+
+    std::string data = synthBytes(24576, 0x401, 16, 128);
+    spec.profilingInput.stdinText = "1000";
+    spec.profilingInput.files["input.raw"] = data;
+    spec.evalInput.stdinText = "1200";
+    spec.evalInput.files["input.raw"] = data;
+
+    spec.paper = {27.0, 98.79, 1, 134.3, "spec_compress", 5.7, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * 429.mcf — single-depot vehicle scheduling (network simplex). Paper
+ * row: 104.8 s, target global_opt, 99.55% coverage, 1 invocation,
+ * 47.9 MB traffic. mcf is THE pointer-chasing program: its node/arc
+ * graph lives in linked structs, which is exactly the irregular data
+ * the paper's UVA + copy-on-demand design exists for (static
+ * partitioners cannot analyze it).
+ *
+ * The miniature: a negative-cycle-canceling pass over a linked arc
+ * network, all heap-allocated node structs chained by pointers.
+ */
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { NNODES = 1024, NARCS = 2048 };
+
+typedef struct NodeT {
+    long potential;
+    int depth;
+    struct NodeT* parent;
+} Node;
+
+typedef struct ArcT {
+    Node* tail;
+    Node* head;
+    long cost;
+    long flow;
+    struct ArcT* nextOut;
+} Arc;
+
+Node** nodes;
+Arc** arcs;
+long totalCost;
+int iterations;
+
+void global_opt() {
+    for (int it = 0; it < iterations; it++) {
+        long improved = 0;
+        for (int a = 0; a < NARCS; a++) {
+            Arc* arc = arcs[a];
+            long reduced = arc->cost + arc->tail->potential -
+                           arc->head->potential;
+            if (reduced < 0) {
+                arc->flow += 1;
+                arc->head->potential += reduced / 2;
+                arc->head->parent = arc->tail;
+                arc->head->depth = arc->tail->depth + 1;
+                improved -= reduced;
+            } else if (arc->flow > 0 && reduced > 8) {
+                arc->flow -= 1;
+                arc->tail->potential -= reduced / 4;
+            }
+        }
+        totalCost += improved;
+        if (improved == 0) break;
+    }
+    printf("flow cost %ld\n", totalCost);
+}
+
+int main() {
+    scanf("%d", &iterations);
+    // Pool allocation (like mcf's arena), still traversed via pointers.
+    nodes = (Node**)malloc(sizeof(Node*) * NNODES);
+    arcs = (Arc**)malloc(sizeof(Arc*) * NARCS);
+    Node* node_pool = (Node*)malloc(sizeof(Node) * NNODES);
+    Arc* arc_pool = (Arc*)malloc(sizeof(Arc) * NARCS);
+    unsigned int s = 429;
+    for (int i = 0; i < NNODES; i++) {
+        Node* n = &node_pool[i];
+        s = s * 1103515245 + 12345;
+        n->potential = (long)((s >> 16) % 1000);
+        n->depth = 0;
+        n->parent = 0;
+        nodes[i] = n;
+    }
+    for (int a = 0; a < NARCS; a++) {
+        Arc* arc = &arc_pool[a];
+        arc->tail = nodes[(a * 37 + 5) % NNODES];
+        arc->head = nodes[(a * 101 + 23) % NNODES];
+        arc->cost = (long)((a * 67) % 200) - 100;
+        arc->flow = 0;
+        arc->nextOut = a > 0 ? arcs[a - 1] : 0;
+        arcs[a] = arc;
+    }
+    totalCost = 0;
+    global_opt();
+    return (int)(totalCost % 61);
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeMcf()
+{
+    WorkloadSpec spec;
+    spec.id = "429.mcf";
+    spec.description = "Vehicle Scheduling";
+    spec.source = kSource;
+    spec.expectedTarget = "global_opt";
+    spec.memScale = 318.0;
+
+    spec.profilingInput.stdinText = "6";
+    spec.evalInput.stdinText = "6";
+
+    spec.paper = {104.8, 99.55, 1, 47.9, "global_opt", 1.6, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

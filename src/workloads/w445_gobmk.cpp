@@ -1,0 +1,115 @@
+/**
+ * @file
+ * 445.gobmk — the game of Go. Paper row: 361.8 s, target
+ * gtp_main_loop, 99.96% coverage, 1 invocation, 25.7 MB traffic —
+ * plus two expensive traits the paper calls out: it "reads files about
+ * previous play records" remotely (heavy remote-input round trips,
+ * the Fig. 8(b)/(c) power plateaus) and it dispatches commands through
+ * a function-pointer table (`commands`), paying translation overhead
+ * on a huge number of dereferences.
+ *
+ * The miniature: a GTP-style command loop reading play records from a
+ * file, dispatching through a command table, and evaluating board
+ * influence after each move.
+ */
+#include "workloads/wl_common.hpp"
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { BSIZE = 19, BAREA = 361 };
+
+typedef int (*COMMAND)(int);
+
+int* board;
+int* influence;
+long score;
+
+int evaluateRows(int from, int count) {
+    long inf = 0;
+    for (int row = from; row < from + count && row < BSIZE; row++) {
+        for (int col = 0; col < BSIZE; col += 2) {
+            int p = row * BSIZE + col;
+            int v = 0;
+            if (row > 0) v += board[p - BSIZE];
+            if (row < BSIZE - 1) v += board[p + BSIZE];
+            if (col > 0) v += board[p - 1];
+            if (col < BSIZE - 1) v += board[p + 1];
+            influence[p] = v * 3 + board[p] * 5;
+            inf += influence[p];
+        }
+    }
+    return (int)(inf % 1000);
+}
+
+int cmdPlay(int arg) {
+    int p = arg % BAREA;
+    board[p] = 1 + (arg % 2);
+    return evaluateRows(p / BSIZE, 1);
+}
+
+int cmdUndo(int arg) {
+    board[arg % BAREA] = 0;
+    return evaluateRows((arg % BAREA) / BSIZE, 1);
+}
+
+int cmdEstimate(int arg) {
+    return evaluateRows(0, 2) + arg % 3;
+}
+
+COMMAND commands[3] = { cmdPlay, cmdUndo, cmdEstimate };
+
+void gtp_main_loop() {
+    void* f = fopen("records.sgf", "r");
+    unsigned char record[16];
+    score = 0;
+    while (fread(record, 1, 16, f) == 16) {
+        /* One 16-byte SGF-ish record drives one command. */
+        int c = (int)record[0];
+        int arg = (int)record[1] * 256 + (int)record[2];
+        COMMAND cmd = commands[c % 3];
+        score += cmd(arg);
+    }
+    fclose(f);
+    printf("final influence score %ld\n", score);
+}
+
+int main() {
+    int dummy;
+    scanf("%d", &dummy);
+    board = (int*)malloc(sizeof(int) * BAREA);
+    influence = (int*)malloc(sizeof(int) * BAREA);
+    for (int p = 0; p < BAREA; p++) { board[p] = 0; influence[p] = 0; }
+    gtp_main_loop();
+    return (int)(score % 59);
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeGobmk()
+{
+    WorkloadSpec spec;
+    spec.id = "445.gobmk";
+    spec.description = "Go Game";
+    spec.source = kSource;
+    spec.expectedTarget = "gtp_main_loop";
+    spec.memScale = 65.0;
+
+    // 7900 records x 16 B on the evaluation input: one remote fread
+    // round trip per command, the paper's continuous remote-I/O load.
+    spec.profilingInput.stdinText = "1";
+    spec.profilingInput.files["records.sgf"] =
+        synthBytes(650 * 16, 0x445, 200, 0);
+    spec.evalInput.stdinText = "1";
+    spec.evalInput.files["records.sgf"] = synthBytes(2600 * 16, 0x445, 200, 0);
+
+    spec.paper = {361.8, 99.96, 1, 25.7, "gtp_main_loop", 156.3, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

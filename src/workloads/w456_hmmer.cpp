@@ -1,0 +1,87 @@
+/**
+ * @file
+ * 456.hmmer — gene-sequence profile search. Paper row: 31.3 s, target
+ * main_loop_serial with 99.99% coverage, 1 invocation, and the
+ * suite's SMALLEST traffic (0.3 MB): "the offloaded function ...
+ * takes only the initialized parameters as its inputs", so hmmer is a
+ * poster child for near-ideal offloading.
+ *
+ * The miniature: Viterbi dynamic programming of a profile HMM against
+ * synthetic sequences generated on the fly from a tiny seed — almost
+ * nothing crosses the network.
+ */
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { MODEL = 64, SEQLEN = 64 };
+
+int* match;   /* MODEL scores */
+int* insert;  /* MODEL scores */
+long best;
+int sequences;
+
+void main_loop_serial() {
+    int vit[2][64];
+    unsigned int s = 456;
+    best = 0;
+    for (int q = 0; q < sequences; q++) {
+        for (int k = 0; k < MODEL; k++) { vit[0][k] = 0; vit[1][k] = 0; }
+        for (int i = 0; i < SEQLEN; i++) {
+            s = s * 1103515245 + 12345;
+            int residue = (int)((s >> 16) % 20);
+            int cur = i & 1;
+            int prev = 1 - cur;
+            for (int k = 1; k < MODEL; k++) {
+                int m = vit[prev][k - 1] + match[k] * residue % 7;
+                int ins = vit[prev][k] + insert[k];
+                vit[cur][k] = m > ins ? m : ins;
+            }
+        }
+        int endk = (SEQLEN - 1) & 1;
+        for (int k = 0; k < MODEL; k++) {
+            if (vit[endk][k] > best) best = vit[endk][k];
+        }
+    }
+    printf("best alignment score %ld\n", best);
+}
+
+int main() {
+    scanf("%d", &sequences);
+    match = (int*)malloc(sizeof(int) * MODEL);
+    insert = (int*)malloc(sizeof(int) * MODEL);
+    unsigned int s = 99;
+    for (int k = 0; k < MODEL; k++) {
+        s = s * 1103515245 + 12345;
+        match[k] = (int)((s >> 16) % 11) - 2;
+        s = s * 1103515245 + 12345;
+        insert[k] = (int)((s >> 16) % 7) - 4;
+    }
+    main_loop_serial();
+    return (int)(best % 47);
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeHmmer()
+{
+    WorkloadSpec spec;
+    spec.id = "456.hmmer";
+    spec.description = "Gene Sequence";
+    spec.source = kSource;
+    spec.expectedTarget = "main_loop_serial";
+    spec.memScale = 10.0;
+
+    spec.profilingInput.stdinText = "1";
+    spec.evalInput.stdinText = "1";
+
+    spec.paper = {31.3, 99.99, 1, 0.3, "main_loop_serial", 20.6, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * 458.sjeng — chess. Paper row: 950.8 s, target think invoked THREE
+ * times (99.95% coverage, 240.2 MB per invocation — a huge working
+ * set re-shipped every turn), plus heavy function-pointer evaluation
+ * tables (`evalRoutines`) whose translation shows up in Fig. 7. The
+ * paper highlights sjeng as proof that user-interactive applications
+ * offload well: it wins even on the slow network (Sec. 5.1, Fig. 8a).
+ *
+ * The miniature: three game turns; each turn the device reads the
+ * player's move interactively (machine-specific main), then think()
+ * searches a move tree, consults a large transposition table (the
+ * working set) and evaluates leaves through per-piece function
+ * pointers.
+ */
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { HASHSIZE = 24576, BOARD = 64 };
+
+typedef long (*EVALFUNC)(int);
+
+long evalPawn(int sq) { return 100 + (sq % 8) * 2; }
+long evalKnight(int sq) { return 320 - (sq % 5) * 3; }
+long evalBishop(int sq) { return 330 + (sq % 7); }
+long evalRook(int sq) { return 500 - (sq % 3) * 4; }
+long evalQueen(int sq) { return 900 + (sq % 11); }
+long evalKing(int sq) { return 10000 - (sq % 13) * 5; }
+
+EVALFUNC evalRoutines[6] = {
+    evalPawn, evalKnight, evalBishop, evalRook, evalQueen, evalKing
+};
+
+int* board;      /* piece type per square */
+long* hashTable; /* transposition table: the big working set */
+long nodesVisited;
+int searchDepth;
+
+long search(int depth, unsigned int key) {
+    nodesVisited++;
+    unsigned int slot = key % HASHSIZE;
+    if (depth == 0) {
+        int sq = (int)(key % BOARD);
+        EVALFUNC eval = evalRoutines[board[sq] % 6];
+        long v = eval(sq);
+        hashTable[slot] = v;
+        return v;
+    }
+    long cached = hashTable[slot];
+    long bestVal = -1000000;
+    for (int m = 0; m < 4; m++) {
+        unsigned int child = key * 2654435761u + (unsigned int)m + 1u;
+        long v = -search(depth - 1, child);
+        if (v > bestVal) bestVal = v;
+    }
+    hashTable[slot] = (bestVal * 3 + cached) / 4;
+    return bestVal;
+}
+
+long think(int turn) {
+    nodesVisited = 0;
+    long best = search(searchDepth, (unsigned int)(turn * 7919 + 13));
+    printf("turn %d: best %ld after %ld nodes\n", turn, best, nodesVisited);
+    return best;
+}
+
+int main() {
+    scanf("%d", &searchDepth);
+    board = (int*)malloc(sizeof(int) * BOARD);
+    hashTable = (long*)malloc(sizeof(long) * HASHSIZE);
+    for (int i = 0; i < BOARD; i++) board[i] = i % 6;
+    memset(hashTable, 0, sizeof(long) * HASHSIZE);
+    long total = 0;
+    for (int turn = 0; turn < 3; turn++) {
+        int from; int to;
+        scanf("%d %d", &from, &to);           /* the player's move */
+        board[to % BOARD] = board[from % BOARD];
+        total += think(turn);                  /* the AI's move */
+        board[(int)(total % BOARD)] = (int)(total % 6);
+    }
+    return (int)(total % 37);
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeSjeng()
+{
+    WorkloadSpec spec;
+    spec.id = "458.sjeng";
+    spec.description = "Chess Game";
+    spec.source = kSource;
+    spec.expectedTarget = "think";
+    spec.memScale = 580.0;
+
+    spec.profilingInput.stdinText = "6 1 2 3 4 5 6";
+    spec.evalInput.stdinText = "7 12 20 33 41 52 60";
+
+    spec.paper = {950.8, 99.95, 3, 240.2, "think", 10.5, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

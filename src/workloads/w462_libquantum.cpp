@@ -1,0 +1,93 @@
+/**
+ * @file
+ * 462.libquantum — quantum computer simulation (Shor's algorithm
+ * pieces). Paper row: 71.0 s, target quantum_exp_mod_n, 92.56%
+ * coverage (the initial register setup stays local), 1 invocation,
+ * 6.3 MB traffic. Notably the paper reports 0 referenced globals for
+ * libquantum: everything lives in the heap-allocated register.
+ *
+ * The miniature: a quantum register of complex amplitudes driven
+ * through controlled-modular-exponentiation gates.
+ */
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { QBITS = 11, STATES = 2048 }; /* 2^11 amplitudes */
+
+typedef struct {
+    double* re;
+    double* im;
+    int states;
+} QReg;
+
+void quantum_exp_mod_n(QReg* reg, int rounds, int modulus) {
+    for (int r = 0; r < rounds; r++) {
+        /* Controlled phase rotation. */
+        for (int i = 0; i < reg->states; i++) {
+            if ((i >> (r % QBITS)) & 1) {
+                double c = 0.999 - (double)(r % 7) * 0.0001;
+                double s = 0.04 + (double)(r % 5) * 0.001;
+                double nr = reg->re[i] * c - reg->im[i] * s;
+                double ni = reg->re[i] * s + reg->im[i] * c;
+                reg->re[i] = nr;
+                reg->im[i] = ni;
+            }
+        }
+        /* Modular permutation of basis states. */
+        for (int i = 0; i < reg->states; i++) {
+            int j = (i * 3 + r) % modulus;
+            if (j < i) {
+                double tr = reg->re[i]; reg->re[i] = reg->re[j];
+                reg->re[j] = tr;
+                double ti = reg->im[i]; reg->im[i] = reg->im[j];
+                reg->im[j] = ti;
+            }
+        }
+    }
+    double norm = 0.0;
+    for (int i = 0; i < reg->states; i++) {
+        norm += reg->re[i] * reg->re[i] + reg->im[i] * reg->im[i];
+    }
+    printf("register norm %.6f\n", norm);
+}
+
+int main() {
+    int rounds;
+    scanf("%d", &rounds);
+    QReg* reg = (QReg*)malloc(sizeof(QReg));
+    reg->states = STATES;
+    reg->re = (double*)malloc(sizeof(double) * STATES);
+    reg->im = (double*)malloc(sizeof(double) * STATES);
+    for (int i = 0; i < STATES; i++) {
+        reg->re[i] = i == 0 ? 1.0 : 0.0;
+        reg->im[i] = 0.0;
+    }
+    quantum_exp_mod_n(reg, rounds, STATES - 3);
+    return rounds % 29;
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeLibquantum()
+{
+    WorkloadSpec spec;
+    spec.id = "462.libquantum";
+    spec.description = "Quantum Computing";
+    spec.source = kSource;
+    spec.expectedTarget = "quantum_exp_mod_n";
+    spec.memScale = 88.0;
+
+    spec.profilingInput.stdinText = "4";
+    spec.evalInput.stdinText = "2";
+
+    spec.paper = {71.0, 92.56, 1, 6.3, "quantum_exp_mod_n", 2.6, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * 464.h264ref — H.264 video encoder. Paper row: 78.2 s, target
+ * encode_sequence, 99.79% coverage, 1 invocation, 17.1 MB traffic —
+ * with two expensive traits: it "reads a video file to encode"
+ * remotely (remote input, Sec. 5.1) and computes SAD metrics through
+ * function pointers "a huge number of times" (457 uses; translation
+ * overhead in Fig. 7).
+ *
+ * The miniature: per-frame motion estimation over file-streamed
+ * frames, with the SAD metric chosen through a function-pointer table.
+ */
+#include "workloads/wl_common.hpp"
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { FW = 48, FH = 32, FSIZE = 1536, BLOCKPX = 8 };
+
+typedef int (*SADFUNC)(unsigned char*, unsigned char*, int);
+
+int sad8(unsigned char* a, unsigned char* b, int stride) {
+    int sum = 0;
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            int d = (int)a[y * stride + x] - (int)b[y * stride + x];
+            if (d < 0) d = -d;
+            sum += d;
+        }
+    }
+    return sum;
+}
+
+int sad8fast(unsigned char* a, unsigned char* b, int stride) {
+    int sum = 0;
+    for (int y = 0; y < 8; y += 2) {
+        for (int x = 0; x < 8; x += 2) {
+            int d = (int)a[y * stride + x] - (int)b[y * stride + x];
+            if (d < 0) d = -d;
+            sum += d * 4;
+        }
+    }
+    return sum;
+}
+
+int satd8(unsigned char* a, unsigned char* b, int stride) {
+    int sum = 0;
+    for (int y = 0; y < 8; y++) {
+        int rowdiff = 0;
+        for (int x = 0; x < 8; x++) {
+            rowdiff += (int)a[y * stride + x] - (int)b[y * stride + x];
+        }
+        if (rowdiff < 0) rowdiff = -rowdiff;
+        sum += rowdiff;
+    }
+    return sum * 2;
+}
+
+SADFUNC sadModes[3] = { sad8, sad8fast, satd8 };
+
+unsigned char* cur;
+unsigned char* ref;
+long bits;
+int frames;
+
+void encode_sequence() {
+    void* f = fopen("video.yuv", "r");
+    bits = 0;
+    for (int fr = 0; fr < frames; fr++) {
+        /* Stream the frame in slices, like the reference encoder's
+         * per-macroblock-row reads — each is a remote round trip. */
+        long got = 0;
+        for (int off = 0; off < FSIZE; off += 192) {
+            got += fread(cur + off, 1, 192, f);
+        }
+        if (got < FSIZE) break;
+        for (int by = 0; by + BLOCKPX <= FH; by += BLOCKPX) {
+            for (int bx = 0; bx + BLOCKPX <= FW; bx += BLOCKPX) {
+                unsigned char* src = cur + by * FW + bx;
+                int bestCost = 1 << 30;
+                SADFUNC sad = sadModes[(bx / BLOCKPX + by) % 3];
+                for (int my = -1; my <= 1; my++) {
+                    for (int mx = -1; mx <= 1; mx++) {
+                        int ry = by + my;
+                        int rx = bx + mx;
+                        if (ry < 0 || rx < 0 || ry + 8 > FH || rx + 8 > FW)
+                            continue;
+                        int cost = sad(src, ref + ry * FW + rx, FW);
+                        if (cost < bestCost) bestCost = cost;
+                    }
+                }
+                bits += bestCost / 16 + 4;
+            }
+        }
+        /* Reconstructed frame becomes the next reference. */
+        for (int p = 0; p < FSIZE; p++) ref[p] = cur[p];
+    }
+    fclose(f);
+    printf("encoded %d frames, %ld bits\n", frames, bits);
+}
+
+int main() {
+    scanf("%d", &frames);
+    cur = (unsigned char*)malloc(FSIZE);
+    ref = (unsigned char*)malloc(FSIZE);
+    memset(ref, 128, FSIZE);
+    encode_sequence();
+    return (int)(bits % 53);
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeH264ref()
+{
+    WorkloadSpec spec;
+    spec.id = "464.h264ref";
+    spec.description = "Video Encoder";
+    spec.source = kSource;
+    spec.expectedTarget = "encode_sequence";
+    spec.memScale = 650.0;
+
+    spec.profilingInput.stdinText = "1";
+    spec.profilingInput.files["video.yuv"] = synthBytes(1536 * 1, 0x464, 64, 80);
+    spec.evalInput.stdinText = "2";
+    spec.evalInput.files["video.yuv"] = synthBytes(1536 * 2, 0x464, 64, 80);
+
+    spec.paper = {78.2, 99.79, 1, 17.1, "encode_sequence", 59.5, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * 470.lbm — lattice-Boltzmann fluid dynamics. Paper row: the LONGEST
+ * run (1444.9 s) and by far the LARGEST traffic (643.6 MB — the whole
+ * lattice travels each way), target main_for.cond (the time-step LOOP
+ * in main), 99.70% coverage, 1 invocation. Bandwidth-sensitive like
+ * the compressors, but its enormous compute still amortizes the
+ * transfer even on 802.11n.
+ *
+ * The miniature: a D2Q5 lattice-Boltzmann stream+collide kernel over
+ * a large double grid.
+ */
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { GW = 128, GH = 64, CELLS = 8192, Q = 5 };
+
+double* grid;    /* CELLS x Q distribution functions */
+double* nextGrid;
+int steps;
+
+void init_grid() {
+    for (int c = 0; c < CELLS; c++) {
+        for (int q = 0; q < Q; q++) {
+            grid[c * Q + q] = 0.2 + (double)((c + q) % 16) * 0.001;
+        }
+    }
+}
+
+int main() {
+    scanf("%d", &steps);
+    grid = (double*)malloc(sizeof(double) * CELLS * Q);
+    nextGrid = (double*)malloc(sizeof(double) * CELLS * Q);
+
+    /* Time-step loop: the offloaded target (it initializes the grid on
+     * its first iteration, so setup cost offloads with it — like lbm's
+     * 99.70% coverage). */
+    for (int t = 0; t < steps; t++) {
+        if (t == 0) init_grid();
+        for (int c = 0; c < CELLS; c++) {
+            int x = c % GW;
+            int y = c / GW;
+            double rho = 0.0;
+            for (int q = 0; q < Q; q++) rho += grid[c * Q + q];
+            double eq = rho / (double)Q;
+            int left = y * GW + (x > 0 ? x - 1 : GW - 1);
+            int right = y * GW + (x < GW - 1 ? x + 1 : 0);
+            int up = (y > 0 ? y - 1 : GH - 1) * GW + x;
+            int down = (y < GH - 1 ? y + 1 : 0) * GW + x;
+            nextGrid[c * Q + 0] =
+                grid[c * Q + 0] + 0.6 * (eq - grid[c * Q + 0]);
+            nextGrid[right * Q + 1] =
+                grid[c * Q + 1] + 0.6 * (eq - grid[c * Q + 1]);
+            nextGrid[left * Q + 2] =
+                grid[c * Q + 2] + 0.6 * (eq - grid[c * Q + 2]);
+            nextGrid[down * Q + 3] =
+                grid[c * Q + 3] + 0.6 * (eq - grid[c * Q + 3]);
+            nextGrid[up * Q + 4] =
+                grid[c * Q + 4] + 0.6 * (eq - grid[c * Q + 4]);
+        }
+        double* tmp = grid;
+        grid = nextGrid;
+        nextGrid = tmp;
+    }
+
+    double mass = 0.0;
+    for (int c = 0; c < CELLS * Q; c += 16) mass += grid[c];
+    printf("total mass %.6f after %d steps\n", mass, steps);
+    return steps % 41;
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeLbm()
+{
+    WorkloadSpec spec;
+    spec.id = "470.lbm";
+    spec.description = "Fluid Dynamics";
+    spec.source = kSource;
+    spec.expectedTarget = "main_for.cond";
+    spec.memScale = 950.0;
+
+    spec.profilingInput.stdinText = "1";
+    spec.evalInput.stdinText = "4";
+
+    spec.paper = {1444.9, 99.70, 1, 643.6, "main_for.cond", 0.9, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * 482.sphinx3 — speech recognition. Paper row: 375.2 s, target
+ * main_for.cond (the per-frame decoding LOOP), 98.39% coverage, 1
+ * invocation, 34.0 MB traffic — and it prints recognition results as
+ * it goes, so it is one of the programs whose battery exceeds the
+ * ideal due to remote I/O handling (Sec. 5.2).
+ *
+ * The miniature: GMM scoring of acoustic frames against senones with
+ * log/exp math, emitting a hypothesis line every few frames.
+ */
+#include "workloads/wl_internal.hpp"
+
+namespace nol::workloads::detail {
+
+namespace {
+
+const char *kSource = R"(
+enum { FRAMES_MAX = 2048, DIM = 16, SENONES = 48 };
+
+double* features; /* FRAMES_MAX x DIM */
+double* means;    /* SENONES x DIM */
+double* vars;     /* SENONES x DIM */
+int* path;
+int frames;
+
+void init_model() {
+    unsigned int s = 482;
+    for (int i = 0; i < frames * DIM; i++) {
+        s = s * 1103515245 + 12345;
+        features[i] = (double)((s >> 16) % 200) / 100.0 - 1.0;
+    }
+    for (int i = 0; i < SENONES * DIM; i++) {
+        s = s * 1103515245 + 12345;
+        means[i] = (double)((s >> 16) % 200) / 100.0 - 1.0;
+        s = s * 1103515245 + 12345;
+        vars[i] = 0.5 + (double)((s >> 16) % 100) / 100.0;
+    }
+}
+
+int main() {
+    scanf("%d", &frames);
+    features = (double*)malloc(sizeof(double) * FRAMES_MAX * DIM);
+    means = (double*)malloc(sizeof(double) * SENONES * DIM);
+    vars = (double*)malloc(sizeof(double) * SENONES * DIM);
+    path = (int*)malloc(sizeof(int) * FRAMES_MAX);
+    init_model();
+
+    /* Frame decoding loop: the offloaded target. */
+    for (int f = 0; f < frames; f++) {
+        int best = 0;
+        double bestScore = -1.0e30;
+        for (int sen = 0; sen < SENONES; sen++) {
+            double logp = 0.0;
+            for (int d = 0; d < DIM; d++) {
+                double diff = features[f * DIM + d] -
+                              means[sen * DIM + d];
+                logp -= diff * diff / vars[sen * DIM + d];
+            }
+            if (logp > bestScore) { bestScore = logp; best = sen; }
+        }
+        path[f] = best;
+        if (f % 8 == 0) {
+            printf("frame %d -> senone %d (%.3f)\n", f, best,
+                   exp(bestScore * 0.001));
+        }
+    }
+
+    long hash = 0;
+    for (int f = 0; f < frames; f++) hash = hash * 31 + path[f];
+    printf("hypothesis hash %ld\n", hash);
+    return (int)(hash % 31);
+}
+)";
+
+} // namespace
+
+WorkloadSpec
+makeSphinx3()
+{
+    WorkloadSpec spec;
+    spec.id = "482.sphinx3";
+    spec.description = "Speech Recognition";
+    spec.source = kSource;
+    spec.expectedTarget = "main_for.cond";
+    spec.memScale = 820.0;
+
+    spec.profilingInput.stdinText = "24";
+    spec.evalInput.stdinText = "77";
+
+    spec.paper = {375.2, 98.39, 1, 34.0, "main_for.cond", 13.1, true};
+    return spec;
+}
+
+} // namespace nol::workloads::detail

@@ -1,0 +1,26 @@
+#include "workloads/wl_common.hpp"
+
+#include "support/rng.hpp"
+
+namespace nol::workloads::detail {
+
+std::string
+synthBytes(size_t size, uint64_t seed, int alphabet, int run_bias)
+{
+    Rng rng(seed);
+    std::string out;
+    out.reserve(size);
+    uint8_t prev = 'A';
+    for (size_t i = 0; i < size; ++i) {
+        if (static_cast<int>(rng.below(256)) < run_bias) {
+            out.push_back(static_cast<char>(prev));
+            continue;
+        }
+        prev = static_cast<uint8_t>('A' + rng.below(
+            static_cast<uint64_t>(alphabet)));
+        out.push_back(static_cast<char>(prev));
+    }
+    return out;
+}
+
+} // namespace nol::workloads::detail

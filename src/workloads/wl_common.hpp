@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Shared helpers for workload construction: deterministic synthetic
+ * input-file generation with controllable compressibility.
+ */
+#ifndef NOL_WORKLOADS_WL_COMMON_HPP
+#define NOL_WORKLOADS_WL_COMMON_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nol::workloads::detail {
+
+/**
+ * Deterministic pseudo-random byte string. @p alphabet bounds the
+ * symbol range (small alphabet → compressible); @p run_bias repeats
+ * the previous byte with probability run_bias/256 (runs → very
+ * compressible).
+ */
+std::string synthBytes(size_t size, uint64_t seed, int alphabet,
+                       int run_bias);
+
+} // namespace nol::workloads::detail
+
+#endif // NOL_WORKLOADS_WL_COMMON_HPP

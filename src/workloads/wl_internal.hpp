@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal factory declarations: one maker per workload translation
+ * unit. Only workloads.cpp (the registry) includes this.
+ */
+#ifndef NOL_WORKLOADS_WL_INTERNAL_HPP
+#define NOL_WORKLOADS_WL_INTERNAL_HPP
+
+#include "workloads/workloads.hpp"
+
+namespace nol::workloads::detail {
+
+WorkloadSpec makeGzip();       // 164.gzip
+WorkloadSpec makeVpr();        // 175.vpr
+WorkloadSpec makeMesa();       // 177.mesa
+WorkloadSpec makeArt();        // 179.art
+WorkloadSpec makeEquake();     // 183.equake
+WorkloadSpec makeAmmp();       // 188.ammp
+WorkloadSpec makeTwolf();      // 300.twolf
+WorkloadSpec makeBzip2();      // 401.bzip2
+WorkloadSpec makeMcf();        // 429.mcf
+WorkloadSpec makeMilc();       // 433.milc
+WorkloadSpec makeGobmk();      // 445.gobmk
+WorkloadSpec makeHmmer();      // 456.hmmer
+WorkloadSpec makeSjeng();      // 458.sjeng
+WorkloadSpec makeLibquantum(); // 462.libquantum
+WorkloadSpec makeH264ref();    // 464.h264ref
+WorkloadSpec makeLbm();        // 470.lbm
+WorkloadSpec makeSphinx3();    // 482.sphinx3
+
+} // namespace nol::workloads::detail
+
+#endif // NOL_WORKLOADS_WL_INTERNAL_HPP

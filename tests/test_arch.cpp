@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the architecture model: ArchSpec factories, scalar
+ * size/alignment rules and endianness-aware load/store helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/archspec.hpp"
+#include "arch/endian.hpp"
+
+using namespace nol::arch;
+
+TEST(ArchSpec, Arm32MatchesPaperMobile)
+{
+    ArchSpec spec = makeArm32();
+    EXPECT_EQ(spec.pointerSize, 4u);
+    EXPECT_EQ(spec.endian, Endianness::Little);
+    EXPECT_EQ(spec.alignOf(ScalarKind::F64), 8u); // ARM EABI
+    EXPECT_FALSE(spec.is64Bit());
+    EXPECT_EQ(spec.addressMask(), 0xffffffffull);
+}
+
+TEST(ArchSpec, X8664MatchesPaperServer)
+{
+    ArchSpec spec = makeX86_64();
+    EXPECT_EQ(spec.pointerSize, 8u);
+    EXPECT_TRUE(spec.is64Bit());
+    EXPECT_EQ(spec.sizeOf(ScalarKind::Ptr), 8u);
+    EXPECT_EQ(spec.alignOf(ScalarKind::I64), 8u);
+}
+
+TEST(ArchSpec, Ia32DoubleAlignmentIsFour)
+{
+    // The Fig. 4 layout mismatch: i386 aligns double to 4 bytes.
+    ArchSpec spec = makeIa32();
+    EXPECT_EQ(spec.alignOf(ScalarKind::F64), 4u);
+    EXPECT_EQ(spec.alignOf(ScalarKind::I64), 4u);
+}
+
+TEST(ArchSpec, MobileSlowerThanServer)
+{
+    // Table 1's ~5.5x performance gap is encoded in the cost scales.
+    double ratio = makeArm32().nsPerCostUnit / makeX86_64().nsPerCostUnit;
+    EXPECT_GT(ratio, 5.0);
+    EXPECT_LT(ratio, 6.0);
+}
+
+TEST(ArchSpec, Mips32IsBigEndian)
+{
+    EXPECT_EQ(makeMips32be().endian, Endianness::Big);
+}
+
+TEST(ArchSpec, ScalarSizes)
+{
+    ArchSpec spec = makeArm32();
+    EXPECT_EQ(spec.sizeOf(ScalarKind::I8), 1u);
+    EXPECT_EQ(spec.sizeOf(ScalarKind::I16), 2u);
+    EXPECT_EQ(spec.sizeOf(ScalarKind::I32), 4u);
+    EXPECT_EQ(spec.sizeOf(ScalarKind::I64), 8u);
+    EXPECT_EQ(spec.sizeOf(ScalarKind::F32), 4u);
+    EXPECT_EQ(spec.sizeOf(ScalarKind::F64), 8u);
+    EXPECT_EQ(spec.sizeOf(ScalarKind::Ptr), 4u);
+}
+
+TEST(Endian, ByteSwaps)
+{
+    EXPECT_EQ(bswap16(0x1234), 0x3412);
+    EXPECT_EQ(bswap32(0x12345678u), 0x78563412u);
+    EXPECT_EQ(bswap64(0x0102030405060708ull), 0x0807060504030201ull);
+}
+
+TEST(Endian, LittleEndianRoundTrip)
+{
+    uint8_t buf[8] = {};
+    storeScalar(buf, 4, Endianness::Little, 0xdeadbeef);
+    EXPECT_EQ(buf[0], 0xef);
+    EXPECT_EQ(buf[3], 0xde);
+    EXPECT_EQ(loadScalar(buf, 4, Endianness::Little), 0xdeadbeefull);
+}
+
+TEST(Endian, BigEndianRoundTrip)
+{
+    uint8_t buf[8] = {};
+    storeScalar(buf, 4, Endianness::Big, 0xdeadbeef);
+    EXPECT_EQ(buf[0], 0xde);
+    EXPECT_EQ(buf[3], 0xef);
+    EXPECT_EQ(loadScalar(buf, 4, Endianness::Big), 0xdeadbeefull);
+}
+
+TEST(Endian, CrossEndianReadsDiffer)
+{
+    // The same bytes read under the wrong endianness yield the swapped
+    // value — exactly the hazard the paper's translation pass removes.
+    uint8_t buf[4];
+    storeScalar(buf, 4, Endianness::Little, 0x11223344);
+    EXPECT_EQ(loadScalar(buf, 4, Endianness::Big), 0x44332211ull);
+}
+
+TEST(Endian, AllWidthsRoundTrip)
+{
+    for (Endianness e : {Endianness::Little, Endianness::Big}) {
+        for (uint32_t size : {1u, 2u, 4u, 8u}) {
+            uint64_t value = 0xa1b2c3d4e5f60718ull;
+            if (size < 8)
+                value &= (1ull << (size * 8)) - 1;
+            uint8_t buf[8] = {};
+            storeScalar(buf, size, e, value);
+            EXPECT_EQ(loadScalar(buf, size, e), value)
+                << "size=" << size;
+        }
+    }
+}

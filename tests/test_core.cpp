@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Core-facade and survey-data tests: the public compile/run API and
+ * the static datasets behind Tables 2 and 5.
+ */
+#include <gtest/gtest.h>
+
+#include "core/nativeoffloader.hpp"
+#include "core/surveydata.hpp"
+
+using namespace nol;
+using namespace nol::core;
+
+namespace {
+
+const char *kTinyApp = R"(
+double acc;
+int main() {
+    scanf("%d", 0);
+    acc = 0.0;
+    for (int i = 0; i < 3000; i++) {
+        for (int j = 0; j < 300; j++) {
+            acc += (double)((i ^ j) & 7) * 0.25;
+        }
+    }
+    printf("acc=%.1f\n", acc);
+    return ((int)acc) % 100;
+}
+)";
+
+} // namespace
+
+TEST(ProgramFacade, CompileRunRoundTrip)
+{
+    CompileRequest req;
+    req.name = "tiny";
+    req.source = kTinyApp;
+    req.profilingInput.stdinText = "1";
+    Program prog = Program::compile(req);
+    EXPECT_TRUE(prog.hasTargets());
+
+    runtime::RunInput input;
+    input.stdinText = "1";
+    runtime::RunReport local = prog.runLocal(input);
+    runtime::RunReport off = prog.run(runtime::SystemConfig{}, input);
+    runtime::RunReport ideal = prog.runIdeal(input);
+
+    EXPECT_EQ(local.exitValue, off.exitValue);
+    EXPECT_EQ(local.console, off.console);
+    EXPECT_EQ(local.console, ideal.console);
+    EXPECT_LE(ideal.mobileSeconds, off.mobileSeconds * 1.001);
+    EXPECT_LT(off.mobileSeconds, local.mobileSeconds);
+}
+
+TEST(ProgramFacade, RejectsBadSource)
+{
+    CompileRequest req;
+    req.name = "bad";
+    req.source = "int main( { return 0; }";
+    EXPECT_THROW(Program::compile(req), FatalError);
+}
+
+TEST(SurveyData, Table2HasTwentyAppsPlusVlcScenario)
+{
+    // 20 apps; VLC contributes two runtime scenarios → 21 rows.
+    EXPECT_EQ(androidAppSurvey().size(), 21u);
+}
+
+TEST(SurveyData, Section1ClaimsHold)
+{
+    // The paper: "around one third of the 20 applications include
+    // native codes more than 50% and spend more than 20% of the total
+    // execution time to execute them".
+    SurveyStats stats = computeSurveyStats();
+    EXPECT_EQ(stats.totalApps, 20);
+    EXPECT_GE(stats.appsOverHalfNativeLoc, 6);
+    EXPECT_LE(stats.appsOverHalfNativeLoc, 8);
+    EXPECT_GE(stats.appsOverFifthNativeTime, 6);
+    EXPECT_LE(stats.appsOverFifthNativeTime, 9);
+}
+
+TEST(SurveyData, Table5ShapeMatchesPaper)
+{
+    const auto &rows = relatedSystems();
+    ASSERT_EQ(rows.size(), 14u);
+    const RelatedSystemRow &ours = rows.back();
+    EXPECT_EQ(ours.system, "Native Offloader");
+    // The claimed sweet spot: fully automatic + dynamic + no VM +
+    // native C + complex applications.
+    EXPECT_TRUE(ours.fullyAutomatic);
+    EXPECT_EQ(ours.decision, "Dynamic");
+    EXPECT_FALSE(ours.requiresVm);
+    EXPECT_EQ(ours.language, "C");
+    EXPECT_EQ(ours.complexity, "Complex");
+    // No OTHER system has all five properties (Table 5's point).
+    for (size_t i = 0; i + 1 < rows.size(); ++i) {
+        const RelatedSystemRow &row = rows[i];
+        bool all = row.fullyAutomatic && row.decision == "Dynamic" &&
+                   !row.requiresVm && row.language == "C" &&
+                   row.complexity == "Complex";
+        EXPECT_FALSE(all) << row.system;
+    }
+}

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Property-based tests: randomized struct layouts, randomized guest
+ * programs executed cross-architecture, randomized page-sync patterns
+ * through the offload runtime, and randomized compressor inputs. Each
+ * property sweeps seeds via parameterized gtest.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compress/lz.hpp"
+#include "core/nativeoffloader.hpp"
+#include "frontend/codegen.hpp"
+#include "interp/externals.hpp"
+#include "interp/interp.hpp"
+#include "interp/loader.hpp"
+#include "ir/datalayout.hpp"
+#include "support/rng.hpp"
+
+using namespace nol;
+
+// ---------------------------------------------------------------------------
+// Property: for ANY struct, the unified layout (a) equals the mobile
+// natural layout, (b) has monotonically increasing, properly aligned
+// field offsets, (c) is at least as large as the sum of field sizes.
+// ---------------------------------------------------------------------------
+
+class StructLayoutProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StructLayoutProperty, UnifiedLayoutIsSaneMobileLayout)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+    ir::Module mod("m");
+    ir::TypeContext &types = mod.types();
+
+    std::vector<const ir::Type *> scalar_pool = {
+        types.i8(), types.i16(), types.i32(), types.i64(),
+        types.f32(), types.f64(), types.pointerTo(types.i8()),
+    };
+
+    int num_fields = static_cast<int>(rng.range(1, 12));
+    std::vector<ir::StructType::Field> fields;
+    for (int i = 0; i < num_fields; ++i) {
+        const ir::Type *ty =
+            scalar_pool[rng.below(scalar_pool.size())];
+        if (rng.chance(0.2))
+            ty = types.arrayOf(ty, static_cast<uint64_t>(rng.range(1, 9)));
+        fields.push_back({"f" + std::to_string(i), ty});
+    }
+    ir::StructType *st = types.createStruct("S", fields);
+
+    ir::DataLayout mobile(arch::makeArm32());
+    ir::StructLayout natural = mobile.naturalLayout(st);
+    st->setExplicitLayout(natural);
+
+    // (a) every other architecture now answers with the mobile layout.
+    for (const arch::ArchSpec &spec :
+         {arch::makeIa32(), arch::makeX86_64(), arch::makeMips32be()}) {
+        ir::DataLayout dl(spec);
+        EXPECT_EQ(dl.sizeOf(st), natural.size) << spec.name;
+        for (size_t i = 0; i < fields.size(); ++i)
+            EXPECT_EQ(dl.fieldOffset(st, i), natural.offsets[i])
+                << spec.name << " field " << i;
+    }
+
+    // (b) offsets are increasing and aligned; fields do not overlap.
+    uint64_t prev_end = 0;
+    uint64_t min_size = 0;
+    for (size_t i = 0; i < fields.size(); ++i) {
+        uint64_t size = mobile.sizeOf(fields[i].type);
+        uint32_t align = mobile.alignOf(fields[i].type);
+        EXPECT_EQ(natural.offsets[i] % align, 0u) << "field " << i;
+        EXPECT_GE(natural.offsets[i], prev_end) << "field " << i;
+        prev_end = natural.offsets[i] + size;
+        min_size += size;
+    }
+    // (c) total size covers the last field and the sum of sizes.
+    EXPECT_GE(natural.size, prev_end);
+    EXPECT_GE(natural.size, min_size);
+    EXPECT_EQ(natural.size % natural.alignment, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructLayoutProperty,
+                         ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------------
+// Property: a randomly generated arithmetic program computes the same
+// result on every architecture (the interpreter's semantics are
+// ABI-independent for well-defined C).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Emit a random but deterministic MiniC program. */
+std::string
+synthesizeProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream src;
+    int array_len = static_cast<int>(rng.range(8, 64));
+    src << "long a[" << array_len << "];\n";
+    src << "int main() {\n";
+    src << "    for (int i = 0; i < " << array_len
+        << "; i++) a[i] = (long)(i * " << rng.range(3, 99) << " + "
+        << rng.range(0, 50) << ");\n";
+    src << "    long acc = " << rng.range(0, 9) << ";\n";
+    int statements = static_cast<int>(rng.range(3, 10));
+    for (int s = 0; s < statements; ++s) {
+        int idx_mul = static_cast<int>(rng.range(1, 13));
+        const char *ops[] = {"+", "-", "^", "|", "&"};
+        const char *op = ops[rng.below(5)];
+        src << "    for (int i = 0; i < " << array_len << "; i++) {\n";
+        switch (rng.below(3)) {
+          case 0:
+            src << "        acc = acc " << op << " a[(i * " << idx_mul
+                << ") % " << array_len << "];\n";
+            break;
+          case 1:
+            src << "        a[i] = a[i] " << op << " (long)(i % "
+                << rng.range(1, 17) << " + 1);\n";
+            break;
+          default:
+            src << "        if ((a[i] & " << rng.range(1, 15)
+                << ") != 0) acc += " << rng.range(1, 7)
+                << "; else acc -= " << rng.range(1, 7) << ";\n";
+            break;
+        }
+        src << "    }\n";
+    }
+    src << "    return (int)(acc % 97 + 97) % 97;\n";
+    src << "}\n";
+    return src.str();
+}
+
+int64_t
+runOn(const std::string &src, const arch::ArchSpec &spec,
+      sim::MachineRole role)
+{
+    auto mod = frontend::compileSource(src, "prop.c");
+    sim::SimMachine machine(role, spec);
+    interp::ProgramImage image = interp::loadProgram(*mod, machine);
+    interp::DefaultEnv env;
+    interp::Interp interp(machine, *mod, image, env);
+    return interp.call(mod->functionByName("main"), {}).i;
+}
+
+} // namespace
+
+class CrossArchExecutionProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CrossArchExecutionProperty, SameResultEverywhere)
+{
+    std::string src =
+        synthesizeProgram(static_cast<uint64_t>(GetParam()) * 31 + 5);
+    int64_t arm = runOn(src, arch::makeArm32(), sim::MachineRole::Mobile);
+    EXPECT_EQ(arm, runOn(src, arch::makeX86_64(),
+                         sim::MachineRole::Server))
+        << src;
+    EXPECT_EQ(arm, runOn(src, arch::makeIa32(), sim::MachineRole::Mobile))
+        << src;
+    EXPECT_EQ(arm, runOn(src, arch::makeMips32be(),
+                         sim::MachineRole::Mobile))
+        << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossArchExecutionProperty,
+                         ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------------
+// Property: randomized offloaded page-sync patterns — a target that
+// mutates a pseudo-random subset of a large buffer must leave the
+// mobile memory identical to a local run (prefetch + copy-on-demand +
+// dirty write-back compose correctly).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string
+synthesizeSyncProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    int len = static_cast<int>(rng.range(2000, 8000));
+    int stride = static_cast<int>(rng.range(1, 37));
+    std::ostringstream src;
+    src << "long* buf;\n"
+        << "long mutate() {\n"
+        << "    long sum = 0;\n"
+        << "    for (int r = 0; r < 40; r++) {\n"
+        << "        for (int i = 0; i < " << len << "; i += " << stride
+        << ") {\n"
+        << "            buf[i] = buf[i] * 3 + r;\n"
+        << "            sum += buf[i];\n"
+        << "        }\n"
+        << "    }\n"
+        << "    return sum;\n"
+        << "}\n"
+        << "int main() {\n"
+        << "    scanf(\"%d\", 0);\n"
+        << "    buf = (long*)malloc(sizeof(long) * " << len << ");\n"
+        << "    for (int i = 0; i < " << len << "; i++) buf[i] = i;\n"
+        << "    long s = mutate();\n"
+        << "    long check = 0;\n"
+        << "    for (int i = 0; i < " << len
+        << "; i++) check = check * 31 + buf[i];\n"
+        << "    printf(\"%ld %ld\\n\", s, check);\n"
+        << "    return (int)((check % 89 + 89) % 89);\n"
+        << "}\n";
+    return src.str();
+}
+
+} // namespace
+
+class PageSyncProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PageSyncProperty, DirtyWriteBackPreservesMemory)
+{
+    std::string src =
+        synthesizeSyncProgram(static_cast<uint64_t>(GetParam()) * 101 + 7);
+    core::CompileRequest req;
+    req.name = "sync";
+    req.source = src;
+    req.profilingInput.stdinText = "1";
+    core::Program prog = core::Program::compile(req);
+    if (!prog.hasTargets())
+        GTEST_SKIP() << "no profitable target for this seed";
+
+    runtime::RunInput input;
+    input.stdinText = "1";
+    runtime::RunReport local = prog.runLocal(input);
+
+    // Both with and without prefetch (stressing CoD).
+    for (bool prefetch : {true, false}) {
+        runtime::SystemConfig cfg;
+        cfg.prefetchEnabled = prefetch;
+        runtime::RunReport off = prog.run(cfg, input);
+        EXPECT_EQ(off.exitValue, local.exitValue)
+            << "prefetch=" << prefetch << "\n" << src;
+        EXPECT_EQ(off.console, local.console) << "prefetch=" << prefetch;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageSyncProperty, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Property: the compressor round-trips page-like content (sparse,
+// repetitive, binary) of every size class.
+// ---------------------------------------------------------------------------
+
+class CompressorProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CompressorProperty, PageContentRoundTrips)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 1);
+    size_t pages = static_cast<size_t>(rng.range(1, 6));
+    std::vector<uint8_t> data(pages * 4096, 0);
+    // Sparse dirty words over zero pages, like real write-back payloads.
+    size_t touches = static_cast<size_t>(rng.range(10, 600));
+    for (size_t t = 0; t < touches; ++t) {
+        size_t at = rng.below(data.size() - 8);
+        for (int b = 0; b < 8; ++b)
+            data[at + static_cast<size_t>(b)] =
+                static_cast<uint8_t>(rng.next());
+    }
+    auto packed = compress::lzCompress(data);
+    EXPECT_EQ(compress::lzDecompress(packed), data);
+    // Sparse pages compress well.
+    if (touches < 100)
+        EXPECT_LT(packed.size(), data.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressorProperty,
+                         ::testing::Range(0, 12));

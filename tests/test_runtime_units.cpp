@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests of the runtime's building blocks in isolation: the
+ * program loader (address assignment across machines), the UVA
+ * manager, the communication manager (clock coordination, batching,
+ * per-category accounting, compressed write-back) and the dynamic
+ * estimator.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "frontend/codegen.hpp"
+#include "interp/loader.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/dynestimator.hpp"
+#include "runtime/uva.hpp"
+
+using namespace nol;
+using namespace nol::runtime;
+
+// ---------------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char *kTwoGlobalSrc = R"(
+int shared_counter;
+double shared_weight;
+int local_only;
+int use() { shared_counter++; return (int)shared_weight; }
+int main() { local_only = 3; return use(); }
+)";
+
+} // namespace
+
+TEST(Loader, UvaGlobalsGetIdenticalAddressesOnBothMachines)
+{
+    auto mod = frontend::compileSource(kTwoGlobalSrc, "t.c");
+    // Mark two globals as UVA-resident (what the unifier would do).
+    mod->globalByName("shared_counter")->setInUva(true);
+    mod->globalByName("shared_weight")->setInUva(true);
+
+    sim::SimMachine mobile(sim::MachineRole::Mobile, arch::makeArm32());
+    sim::SimMachine server(sim::MachineRole::Server, arch::makeX86_64());
+    interp::ProgramImage mob = interp::loadProgram(*mod, mobile);
+    interp::ProgramImage srv =
+        interp::loadProgram(*mod, server, /*write_uva_content=*/false);
+
+    const ir::GlobalVariable *counter = mod->globalByName("shared_counter");
+    const ir::GlobalVariable *weight = mod->globalByName("shared_weight");
+    const ir::GlobalVariable *local = mod->globalByName("local_only");
+
+    // UVA globals: same address; machine-local ones: different bases.
+    EXPECT_EQ(mob.addressOf(counter), srv.addressOf(counter));
+    EXPECT_EQ(mob.addressOf(weight), srv.addressOf(weight));
+    EXPECT_NE(mob.addressOf(local), srv.addressOf(local));
+    EXPECT_GE(mob.addressOf(counter), interp::kUvaGlobalBase);
+}
+
+TEST(Loader, CanonicalFunctionAddressesMatchAcrossClones)
+{
+    auto mod = frontend::compileSource(kTwoGlobalSrc, "t.c");
+    ir::CloneMap map_a, map_b;
+    auto clone_a = mod->clone("a", map_a);
+    auto clone_b = mod->clone("b", map_b);
+
+    sim::SimMachine mobile(sim::MachineRole::Mobile, arch::makeArm32());
+    sim::SimMachine server(sim::MachineRole::Server, arch::makeX86_64());
+    interp::ProgramImage img_a = interp::loadProgram(*clone_a, mobile);
+    interp::ProgramImage img_b =
+        interp::loadProgram(*clone_b, server, false);
+
+    EXPECT_EQ(img_a.addressOf(clone_a->functionByName("use")),
+              img_b.addressOf(clone_b->functionByName("use")));
+    EXPECT_EQ(img_a.addressOf(clone_a->functionByName("main")),
+              img_b.addressOf(clone_b->functionByName("main")));
+}
+
+TEST(Loader, ServerSkipsUvaContentButWritesLocalGlobals)
+{
+    auto mod = frontend::compileSource(R"(
+        int uva_g = 77;
+        int local_g = 55;
+        int main() { return uva_g + local_g; }
+    )", "t.c");
+    mod->globalByName("uva_g")->setInUva(true);
+
+    sim::SimMachine server(sim::MachineRole::Server, arch::makeX86_64());
+    interp::ProgramImage img =
+        interp::loadProgram(*mod, server, /*write_uva_content=*/false);
+
+    // The local global's bytes are present; the UVA one's page was
+    // never touched on the server (it comes via prefetch/CoD).
+    uint64_t local_addr = img.addressOf(mod->globalByName("local_g"));
+    uint8_t buf[4];
+    server.mem().read(local_addr, 4, buf);
+    EXPECT_EQ(buf[0], 55);
+    uint64_t uva_addr = img.addressOf(mod->globalByName("uva_g"));
+    EXPECT_FALSE(server.mem().isPresent(sim::pageOf(uva_addr)));
+}
+
+// ---------------------------------------------------------------------------
+// UVA manager
+// ---------------------------------------------------------------------------
+
+TEST(Uva, SubHeapsAreDisjoint)
+{
+    UvaManager uva;
+    uint64_t m = uva.mobileHeap().allocate(1 << 20);
+    uint64_t s = uva.serverHeap().allocate(1 << 20);
+    EXPECT_NE(m, 0u);
+    EXPECT_NE(s, 0u);
+    EXPECT_LT(uva.mobileHeap().limit(), uva.serverHeap().base() + 1);
+    EXPECT_TRUE(UvaManager::isUvaAddress(m));
+    EXPECT_TRUE(UvaManager::isUvaAddress(s));
+    EXPECT_FALSE(UvaManager::isUvaAddress(sim::kMobileStackBase - 8));
+}
+
+// ---------------------------------------------------------------------------
+// Communication manager
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CommFixture {
+    sim::SimMachine mobile{sim::MachineRole::Mobile, arch::makeArm32()};
+    sim::SimMachine server{sim::MachineRole::Server, arch::makeX86_64()};
+    net::SimNetwork network{net::makeWifi80211ac(), 1.0};
+};
+
+} // namespace
+
+TEST(Comm, SyncClocksAlignsToLaterMachine)
+{
+    CommFixture fix;
+    CommManager comm(fix.mobile, fix.server, fix.network, true);
+    fix.server.advanceCompute(1000); // server ahead
+    comm.syncClocks();
+    EXPECT_DOUBLE_EQ(fix.mobile.nowNs(), fix.server.nowNs());
+    // The mobile waited (power state Waiting accumulated).
+    EXPECT_GT(fix.mobile.power().secondsInState(sim::PowerState::Waiting),
+              0.0);
+}
+
+TEST(Comm, TransfersAdvanceBothClocksTogether)
+{
+    CommFixture fix;
+    CommManager comm(fix.mobile, fix.server, fix.network, true);
+    comm.sendToServer(1 << 20, CommCategory::Prefetch);
+    EXPECT_DOUBLE_EQ(fix.mobile.nowNs(), fix.server.nowNs());
+    EXPECT_GT(fix.mobile.power().secondsInState(sim::PowerState::Transmit),
+              0.0);
+    EXPECT_EQ(comm.bytesIn(CommCategory::Prefetch), 1u << 20);
+    EXPECT_GT(comm.secondsIn(CommCategory::Prefetch), 0.0);
+}
+
+TEST(Comm, PushPagesInstallsAndCleansDirtyBits)
+{
+    CommFixture fix;
+    CommManager comm(fix.mobile, fix.server, fix.network, true);
+    uint8_t data[8] = {9, 8, 7, 6, 5, 4, 3, 2};
+    fix.mobile.mem().write(0x40000000, 8, data);
+    auto dirty = fix.mobile.mem().dirtyPages();
+    ASSERT_EQ(dirty.size(), 1u);
+
+    comm.pushPagesToServer(dirty, CommCategory::Prefetch);
+    EXPECT_TRUE(fix.mobile.mem().dirtyPages().empty());
+    uint8_t back[8];
+    fix.server.mem().read(0x40000000, 8, back);
+    EXPECT_EQ(std::memcmp(back, data, 8), 0);
+    // One batched message, not one per page.
+    EXPECT_EQ(comm.totals().at(CommCategory::Prefetch).messages, 1u);
+}
+
+TEST(Comm, WriteBackCompressesAndInstallsOnMobile)
+{
+    CommFixture fix;
+    CommManager comm(fix.mobile, fix.server, fix.network, true);
+    // Server dirties two pages of compressible content.
+    std::vector<uint8_t> block(8192, 0x11);
+    fix.server.mem().write(0x40000000, block.size(), block.data());
+
+    uint64_t raw = comm.writeBackDirtyPages();
+    EXPECT_GT(raw, 8192u);
+    // Wire bytes far below raw (compressible payload).
+    EXPECT_LT(comm.bytesIn(CommCategory::WriteBack), raw / 4);
+
+    uint8_t back[16];
+    fix.mobile.mem().read(0x40001000, 16, back);
+    EXPECT_EQ(back[3], 0x11);
+    EXPECT_GT(comm.compressSeconds(), 0.0);
+}
+
+TEST(Comm, FetchPageIsARoundTrip)
+{
+    CommFixture fix;
+    CommManager comm(fix.mobile, fix.server, fix.network, true);
+    uint8_t data[4] = {1, 2, 3, 4};
+    fix.mobile.mem().write(0x40002000, 4, data);
+
+    comm.fetchPageToServer(sim::pageOf(0x40002000));
+    EXPECT_EQ(comm.demandFaults(), 1u);
+    EXPECT_EQ(comm.totals().at(CommCategory::Demand).messages, 2u);
+    uint8_t back[4];
+    fix.server.mem().read(0x40002000, 4, back);
+    EXPECT_EQ(back[1], 2);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic estimator
+// ---------------------------------------------------------------------------
+
+TEST(DynEstimator, DecidesByEquationOne)
+{
+    // R = 5, BW = 80 Mbps: gain = Tm*0.8 - 2*(M/BW).
+    DynamicEstimator dyn(5.0, 80e6);
+    dyn.seed("hot", /*Tm=*/10.0, /*M=*/10'000'000); // Tc = 2s < 8s gain
+    EXPECT_TRUE(dyn.decide("hot").offload);
+
+    dyn.seed("cold", /*Tm=*/1.0, /*M=*/50'000'000); // Tc = 10s > 0.8s
+    EXPECT_FALSE(dyn.decide("cold").offload);
+
+    // Unknown targets stay local.
+    EXPECT_FALSE(dyn.decide("unknown").offload);
+}
+
+TEST(DynEstimator, ObservationsUpdateKnowledge)
+{
+    DynamicEstimator dyn(5.0, 80e6);
+    dyn.seed("t", 0.1, 50'000'000); // looks hopeless
+    EXPECT_FALSE(dyn.decide("t").offload);
+    // A local run reveals the task actually takes 100 s.
+    dyn.observe("t", 100.0, 0);
+    EXPECT_TRUE(dyn.decide("t").offload);
+}
+
+TEST(DynEstimator, BandwidthSensitivity)
+{
+    DynamicEstimator fast(5.0, 844e6);
+    DynamicEstimator slow(5.0, 1e6);
+    fast.seed("t", 5.0, 20'000'000);
+    slow.seed("t", 5.0, 20'000'000);
+    EXPECT_TRUE(fast.decide("t").offload);  // Tc ~0.38 s
+    EXPECT_FALSE(slow.decide("t").offload); // Tc 320 s
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the support substrate: logging/error helpers, the
+ * deterministic RNG, the statistics registry and string utilities.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+
+TEST(Logging, StrformatFormats)
+{
+    EXPECT_EQ(strformat("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+    EXPECT_EQ(strformat("%.2f", 1.005), "1.00");
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config %d", 1), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug %s", "here"), PanicError);
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_NO_THROW(NOL_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(NOL_ASSERT(false, "count=%d", 7), PanicError);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsProduceDifferentStreams)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.range(-3, 9);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Stats, AddAndGet)
+{
+    StatRegistry stats;
+    stats.add("net.bytes", 100);
+    stats.add("net.bytes", 50);
+    EXPECT_DOUBLE_EQ(stats.get("net.bytes"), 150);
+    EXPECT_DOUBLE_EQ(stats.get("missing"), 0);
+    EXPECT_TRUE(stats.has("net.bytes"));
+    EXPECT_FALSE(stats.has("missing"));
+}
+
+TEST(Stats, SetOverwrites)
+{
+    StatRegistry stats;
+    stats.add("x", 5);
+    stats.set("x", 2);
+    EXPECT_DOUBLE_EQ(stats.get("x"), 2);
+}
+
+TEST(Stats, ClearKeepsNames)
+{
+    StatRegistry stats;
+    stats.add("a", 1);
+    stats.clear();
+    EXPECT_TRUE(stats.has("a"));
+    EXPECT_DOUBLE_EQ(stats.get("a"), 0);
+}
+
+TEST(Stats, EntriesSorted)
+{
+    StatRegistry stats;
+    stats.add("b", 1);
+    stats.add("a", 2);
+    auto entries = stats.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].name, "a");
+    EXPECT_EQ(entries[1].name, "b");
+}
+
+TEST(Strings, SplitJoinRoundTrip)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x y \t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, PrefixSuffix)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_TRUE(endsWith("foobar", "bar"));
+    EXPECT_FALSE(endsWith("ar", "bar"));
+}
+
+TEST(Strings, Fixed)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, TextTableAligns)
+{
+    TextTable table;
+    table.header({"name", "value"});
+    table.row({"alpha", "1.50"});
+    table.row({"b", "22.00"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Numeric column right-aligned: "22.00" ends at same column as "1.50".
+    auto lines = split(out, '\n');
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_EQ(lines[2].size(), lines[3].size());
+}

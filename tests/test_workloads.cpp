@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Workload-suite tests. Structural checks (compilation, target
+ * selection, Table 4 shape) run for all 17 SPEC-shaped programs via a
+ * parameterized suite; full offloaded-vs-local equivalence runs for a
+ * representative subset to keep test time reasonable.
+ */
+#include <gtest/gtest.h>
+
+#include "core/nativeoffloader.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace nol;
+using namespace nol::workloads;
+
+namespace {
+
+core::Program
+compileWorkload(const WorkloadSpec &spec)
+{
+    core::CompileRequest req;
+    req.name = spec.id;
+    req.source = spec.source;
+    req.profilingInput = spec.profilingInput;
+    return core::Program::compile(req);
+}
+
+runtime::RunInput
+evalInput(const WorkloadSpec &spec)
+{
+    runtime::RunInput input;
+    input.stdinText = spec.evalInput.stdinText;
+    input.files = spec.evalInput.files;
+    return input;
+}
+
+} // namespace
+
+TEST(WorkloadRegistry, HasAll17InTable4Order)
+{
+    const auto &all = allWorkloads();
+    ASSERT_EQ(all.size(), 17u);
+    EXPECT_EQ(all.front().id, "164.gzip");
+    EXPECT_EQ(all.back().id, "482.sphinx3");
+    EXPECT_NE(workloadById("458.sjeng"), nullptr);
+    EXPECT_EQ(workloadById("999.nope"), nullptr);
+}
+
+TEST(WorkloadRegistry, PaperReferenceDataPresent)
+{
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        EXPECT_GT(spec.paper.execSeconds, 0) << spec.id;
+        EXPECT_GT(spec.paper.coveragePct, 0) << spec.id;
+        EXPECT_GE(spec.paper.invocations, 1) << spec.id;
+        EXPECT_GT(spec.paper.trafficMb, 0) << spec.id;
+        EXPECT_GT(spec.memScale, 0) << spec.id;
+        EXPECT_FALSE(spec.source.empty()) << spec.id;
+    }
+    // Only gzip carries the paper's '*' (refused on 802.11n).
+    EXPECT_FALSE(workloadById("164.gzip")->paper.offloadedOnSlow);
+    EXPECT_TRUE(workloadById("470.lbm")->paper.offloadedOnSlow);
+}
+
+// ---------------------------------------------------------------------------
+// Structural property per workload (parameterized sweep).
+// ---------------------------------------------------------------------------
+
+class WorkloadStructure : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadStructure, SelectsExpectedTargetAndMatchesTable4Shape)
+{
+    const WorkloadSpec *spec = workloadById(GetParam());
+    ASSERT_NE(spec, nullptr);
+    core::Program prog = compileWorkload(*spec);
+
+    // The paper's target (function or outlined loop) must be selected.
+    auto targets = prog.targets();
+    bool found = false;
+    for (const std::string &t : targets)
+        found |= t == spec->expectedTarget;
+    EXPECT_TRUE(found) << spec->id << ": expected "
+                       << spec->expectedTarget;
+
+    // Coverage of the selected targets should be in the paper's range.
+    double cov = 0;
+    for (const std::string &t : targets)
+        cov += prog.compiled().profile.coverage(t);
+    EXPECT_GT(cov, 0.70) << spec->id;
+    EXPECT_LE(cov, 1.001) << spec->id;
+
+    // Every struct is layout-pinned, the ABI unified, malloc replaced.
+    const ir::Module &mobile = *prog.compiled().partition.mobileModule;
+    EXPECT_NE(mobile.unifiedAbi(), nullptr);
+    for (const ir::StructType *st : mobile.types().structs())
+        EXPECT_TRUE(st->hasExplicitLayout()) << spec->id << " " << st->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecPrograms, WorkloadStructure,
+    ::testing::Values("164.gzip", "175.vpr", "177.mesa", "179.art",
+                      "183.equake", "188.ammp", "300.twolf", "401.bzip2",
+                      "429.mcf", "433.milc", "445.gobmk", "456.hmmer",
+                      "458.sjeng", "462.libquantum", "464.h264ref",
+                      "470.lbm", "482.sphinx3"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------------------
+// End-to-end equivalence for a representative subset.
+// ---------------------------------------------------------------------------
+
+class WorkloadEquivalence : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadEquivalence, OffloadedMatchesLocal)
+{
+    const WorkloadSpec *spec = workloadById(GetParam());
+    ASSERT_NE(spec, nullptr);
+    core::Program prog = compileWorkload(*spec);
+    runtime::RunInput input = evalInput(*spec);
+
+    runtime::RunReport local = prog.runLocal(input);
+
+    runtime::SystemConfig fast;
+    fast.memScale = spec->memScale;
+    runtime::RunReport off = prog.run(fast, input);
+
+    EXPECT_EQ(off.exitValue, local.exitValue) << spec->id;
+    EXPECT_EQ(off.console, local.console) << spec->id;
+    EXPECT_GT(off.offloads, 0u) << spec->id;
+    EXPECT_LT(off.mobileSeconds, local.mobileSeconds) << spec->id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Subset, WorkloadEquivalence,
+    ::testing::Values("164.gzip", "445.gobmk", "456.hmmer", "458.sjeng",
+                      "462.libquantum"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------------------
+// The chess running example (Fig. 3 / Tables 1 and 3).
+// ---------------------------------------------------------------------------
+
+TEST(ChessExample, SelectsGetAITurnLikeFig3)
+{
+    WorkloadSpec chess = makeChess(6);
+    core::Program prog = compileWorkload(chess);
+    auto targets = prog.targets();
+    ASSERT_FALSE(targets.empty());
+    EXPECT_EQ(targets[0], "getAITurn");
+
+    // getPlayerTurn is interactive — never offloadable (Sec. 3.1).
+    const auto *player =
+        prog.compiled().selection.byName("getPlayerTurn");
+    if (player != nullptr)
+        EXPECT_TRUE(player->machineSpecific);
+}
+
+TEST(ChessExample, DifficultyScalesComputation)
+{
+    WorkloadSpec easy = makeChess(5);
+    WorkloadSpec hard = makeChess(8);
+    core::Program easy_prog = compileWorkload(easy);
+    core::Program hard_prog = compileWorkload(hard);
+    runtime::RunReport easy_run = easy_prog.runLocal(evalInput(easy));
+    runtime::RunReport hard_run = hard_prog.runLocal(evalInput(hard));
+    // Deeper thinking must cost substantially more (Table 1's shape).
+    EXPECT_GT(hard_run.mobileSeconds, easy_run.mobileSeconds * 2.0);
+}
+
+TEST(ChessExample, MobileServerGapMatchesTable1)
+{
+    // Table 1: the smartphone is ~5.4-5.9x slower across difficulties.
+    WorkloadSpec chess = makeChess(6);
+    core::Program prog = compileWorkload(chess);
+    runtime::RunInput input = evalInput(chess);
+    runtime::RunReport local = prog.runLocal(input);
+    runtime::RunReport ideal = prog.runIdeal(input);
+    ASSERT_GT(ideal.offloads, 0u);
+    // Ideal offloading approaches the architectural speed ratio on the
+    // offloaded portion; whole-program gap is below R but well above 1.
+    double gap = local.mobileSeconds / ideal.mobileSeconds;
+    EXPECT_GT(gap, 3.0);
+    EXPECT_LT(gap, 9.0);
+}
