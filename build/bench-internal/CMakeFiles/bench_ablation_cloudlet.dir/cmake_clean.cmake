@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cloudlet"
+  "../bench/bench_ablation_cloudlet.pdb"
+  "CMakeFiles/bench_ablation_cloudlet.dir/bench_ablation_cloudlet.cpp.o"
+  "CMakeFiles/bench_ablation_cloudlet.dir/bench_ablation_cloudlet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cloudlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cod"
+  "../bench/bench_ablation_cod.pdb"
+  "CMakeFiles/bench_ablation_cod.dir/bench_ablation_cod.cpp.o"
+  "CMakeFiles/bench_ablation_cod.dir/bench_ablation_cod.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

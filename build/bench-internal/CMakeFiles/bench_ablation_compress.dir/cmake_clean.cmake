@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_compress"
+  "../bench/bench_ablation_compress.pdb"
+  "CMakeFiles/bench_ablation_compress.dir/bench_ablation_compress.cpp.o"
+  "CMakeFiles/bench_ablation_compress.dir/bench_ablation_compress.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

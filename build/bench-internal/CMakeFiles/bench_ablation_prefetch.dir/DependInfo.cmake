@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_prefetch.cpp" "bench-internal/CMakeFiles/bench_ablation_prefetch.dir/bench_ablation_prefetch.cpp.o" "gcc" "bench-internal/CMakeFiles/bench_ablation_prefetch.dir/bench_ablation_prefetch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-internal/CMakeFiles/nol_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nol_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/nol_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/nol_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/nol_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/nol_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/nol_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/nol_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nol_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/nol_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_remoteio"
+  "../bench/bench_ablation_remoteio.pdb"
+  "CMakeFiles/bench_ablation_remoteio.dir/bench_ablation_remoteio.cpp.o"
+  "CMakeFiles/bench_ablation_remoteio.dir/bench_ablation_remoteio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_remoteio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6b"
+  "../bench/bench_fig6b.pdb"
+  "CMakeFiles/bench_fig6b.dir/bench_fig6b.cpp.o"
+  "CMakeFiles/bench_fig6b.dir/bench_fig6b.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

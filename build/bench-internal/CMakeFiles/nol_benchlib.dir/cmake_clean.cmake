@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_benchlib.dir/benchlib.cpp.o"
+  "CMakeFiles/nol_benchlib.dir/benchlib.cpp.o.d"
+  "libnol_benchlib.a"
+  "libnol_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

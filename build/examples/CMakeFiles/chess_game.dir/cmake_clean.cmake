@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chess_game.dir/chess_game.cpp.o"
+  "CMakeFiles/chess_game.dir/chess_game.cpp.o.d"
+  "chess_game"
+  "chess_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chess_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_isa_inspector.dir/cross_isa_inspector.cpp.o"
+  "CMakeFiles/cross_isa_inspector.dir/cross_isa_inspector.cpp.o.d"
+  "cross_isa_inspector"
+  "cross_isa_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_isa_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

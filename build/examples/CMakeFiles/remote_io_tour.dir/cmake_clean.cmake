@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_io_tour.dir/remote_io_tour.cpp.o"
+  "CMakeFiles/remote_io_tour.dir/remote_io_tour.cpp.o.d"
+  "remote_io_tour"
+  "remote_io_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_io_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("arch")
+subdirs("ir")
+subdirs("frontend")
+subdirs("sim")
+subdirs("interp")
+subdirs("profile")
+subdirs("compress")
+subdirs("net")
+subdirs("compiler")
+subdirs("runtime")
+subdirs("core")
+subdirs("workloads")

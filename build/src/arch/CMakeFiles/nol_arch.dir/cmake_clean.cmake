@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_arch.dir/archspec.cpp.o"
+  "CMakeFiles/nol_arch.dir/archspec.cpp.o.d"
+  "libnol_arch.a"
+  "libnol_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

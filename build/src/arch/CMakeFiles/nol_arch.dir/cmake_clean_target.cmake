@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnol_arch.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_compiler.dir/driver.cpp.o"
+  "CMakeFiles/nol_compiler.dir/driver.cpp.o.d"
+  "CMakeFiles/nol_compiler.dir/estimator.cpp.o"
+  "CMakeFiles/nol_compiler.dir/estimator.cpp.o.d"
+  "CMakeFiles/nol_compiler.dir/functionfilter.cpp.o"
+  "CMakeFiles/nol_compiler.dir/functionfilter.cpp.o.d"
+  "CMakeFiles/nol_compiler.dir/memunifier.cpp.o"
+  "CMakeFiles/nol_compiler.dir/memunifier.cpp.o.d"
+  "CMakeFiles/nol_compiler.dir/partitioner.cpp.o"
+  "CMakeFiles/nol_compiler.dir/partitioner.cpp.o.d"
+  "CMakeFiles/nol_compiler.dir/targetselector.cpp.o"
+  "CMakeFiles/nol_compiler.dir/targetselector.cpp.o.d"
+  "libnol_compiler.a"
+  "libnol_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

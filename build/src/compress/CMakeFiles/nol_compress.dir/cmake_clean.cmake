@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_compress.dir/lz.cpp.o"
+  "CMakeFiles/nol_compress.dir/lz.cpp.o.d"
+  "libnol_compress.a"
+  "libnol_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

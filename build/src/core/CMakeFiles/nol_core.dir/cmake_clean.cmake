@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_core.dir/nativeoffloader.cpp.o"
+  "CMakeFiles/nol_core.dir/nativeoffloader.cpp.o.d"
+  "CMakeFiles/nol_core.dir/surveydata.cpp.o"
+  "CMakeFiles/nol_core.dir/surveydata.cpp.o.d"
+  "libnol_core.a"
+  "libnol_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_frontend.dir/builtins.cpp.o"
+  "CMakeFiles/nol_frontend.dir/builtins.cpp.o.d"
+  "CMakeFiles/nol_frontend.dir/codegen.cpp.o"
+  "CMakeFiles/nol_frontend.dir/codegen.cpp.o.d"
+  "CMakeFiles/nol_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/nol_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/nol_frontend.dir/parser.cpp.o"
+  "CMakeFiles/nol_frontend.dir/parser.cpp.o.d"
+  "libnol_frontend.a"
+  "libnol_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_interp.dir/externals.cpp.o"
+  "CMakeFiles/nol_interp.dir/externals.cpp.o.d"
+  "CMakeFiles/nol_interp.dir/interp.cpp.o"
+  "CMakeFiles/nol_interp.dir/interp.cpp.o.d"
+  "CMakeFiles/nol_interp.dir/loader.cpp.o"
+  "CMakeFiles/nol_interp.dir/loader.cpp.o.d"
+  "libnol_interp.a"
+  "libnol_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

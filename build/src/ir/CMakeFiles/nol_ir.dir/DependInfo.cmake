@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/basicblock.cpp" "src/ir/CMakeFiles/nol_ir.dir/basicblock.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/basicblock.cpp.o.d"
+  "/root/repo/src/ir/callgraph.cpp" "src/ir/CMakeFiles/nol_ir.dir/callgraph.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/callgraph.cpp.o.d"
+  "/root/repo/src/ir/cfgutils.cpp" "src/ir/CMakeFiles/nol_ir.dir/cfgutils.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/cfgutils.cpp.o.d"
+  "/root/repo/src/ir/datalayout.cpp" "src/ir/CMakeFiles/nol_ir.dir/datalayout.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/datalayout.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/ir/CMakeFiles/nol_ir.dir/function.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/function.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "src/ir/CMakeFiles/nol_ir.dir/instruction.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/instruction.cpp.o.d"
+  "/root/repo/src/ir/irbuilder.cpp" "src/ir/CMakeFiles/nol_ir.dir/irbuilder.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/irbuilder.cpp.o.d"
+  "/root/repo/src/ir/loopinfo.cpp" "src/ir/CMakeFiles/nol_ir.dir/loopinfo.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/loopinfo.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/ir/CMakeFiles/nol_ir.dir/module.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/module.cpp.o.d"
+  "/root/repo/src/ir/outline.cpp" "src/ir/CMakeFiles/nol_ir.dir/outline.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/outline.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/nol_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/ir/CMakeFiles/nol_ir.dir/type.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/type.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/nol_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/nol_ir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/nol_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_ir.dir/basicblock.cpp.o"
+  "CMakeFiles/nol_ir.dir/basicblock.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/callgraph.cpp.o"
+  "CMakeFiles/nol_ir.dir/callgraph.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/cfgutils.cpp.o"
+  "CMakeFiles/nol_ir.dir/cfgutils.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/datalayout.cpp.o"
+  "CMakeFiles/nol_ir.dir/datalayout.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/function.cpp.o"
+  "CMakeFiles/nol_ir.dir/function.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/instruction.cpp.o"
+  "CMakeFiles/nol_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/irbuilder.cpp.o"
+  "CMakeFiles/nol_ir.dir/irbuilder.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/loopinfo.cpp.o"
+  "CMakeFiles/nol_ir.dir/loopinfo.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/module.cpp.o"
+  "CMakeFiles/nol_ir.dir/module.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/outline.cpp.o"
+  "CMakeFiles/nol_ir.dir/outline.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/printer.cpp.o"
+  "CMakeFiles/nol_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/type.cpp.o"
+  "CMakeFiles/nol_ir.dir/type.cpp.o.d"
+  "CMakeFiles/nol_ir.dir/verifier.cpp.o"
+  "CMakeFiles/nol_ir.dir/verifier.cpp.o.d"
+  "libnol_ir.a"
+  "libnol_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_net.dir/simnetwork.cpp.o"
+  "CMakeFiles/nol_net.dir/simnetwork.cpp.o.d"
+  "libnol_net.a"
+  "libnol_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_profile.dir/profiler.cpp.o"
+  "CMakeFiles/nol_profile.dir/profiler.cpp.o.d"
+  "libnol_profile.a"
+  "libnol_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_runtime.dir/comm.cpp.o"
+  "CMakeFiles/nol_runtime.dir/comm.cpp.o.d"
+  "CMakeFiles/nol_runtime.dir/offload.cpp.o"
+  "CMakeFiles/nol_runtime.dir/offload.cpp.o.d"
+  "libnol_runtime.a"
+  "libnol_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

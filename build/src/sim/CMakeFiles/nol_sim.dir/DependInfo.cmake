@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/costmodel.cpp" "src/sim/CMakeFiles/nol_sim.dir/costmodel.cpp.o" "gcc" "src/sim/CMakeFiles/nol_sim.dir/costmodel.cpp.o.d"
+  "/root/repo/src/sim/filesystem.cpp" "src/sim/CMakeFiles/nol_sim.dir/filesystem.cpp.o" "gcc" "src/sim/CMakeFiles/nol_sim.dir/filesystem.cpp.o.d"
+  "/root/repo/src/sim/pagedmemory.cpp" "src/sim/CMakeFiles/nol_sim.dir/pagedmemory.cpp.o" "gcc" "src/sim/CMakeFiles/nol_sim.dir/pagedmemory.cpp.o.d"
+  "/root/repo/src/sim/powermodel.cpp" "src/sim/CMakeFiles/nol_sim.dir/powermodel.cpp.o" "gcc" "src/sim/CMakeFiles/nol_sim.dir/powermodel.cpp.o.d"
+  "/root/repo/src/sim/simmachine.cpp" "src/sim/CMakeFiles/nol_sim.dir/simmachine.cpp.o" "gcc" "src/sim/CMakeFiles/nol_sim.dir/simmachine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/nol_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nol_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nol_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_sim.dir/costmodel.cpp.o"
+  "CMakeFiles/nol_sim.dir/costmodel.cpp.o.d"
+  "CMakeFiles/nol_sim.dir/filesystem.cpp.o"
+  "CMakeFiles/nol_sim.dir/filesystem.cpp.o.d"
+  "CMakeFiles/nol_sim.dir/pagedmemory.cpp.o"
+  "CMakeFiles/nol_sim.dir/pagedmemory.cpp.o.d"
+  "CMakeFiles/nol_sim.dir/powermodel.cpp.o"
+  "CMakeFiles/nol_sim.dir/powermodel.cpp.o.d"
+  "CMakeFiles/nol_sim.dir/simmachine.cpp.o"
+  "CMakeFiles/nol_sim.dir/simmachine.cpp.o.d"
+  "libnol_sim.a"
+  "libnol_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nol_support.dir/logging.cpp.o"
+  "CMakeFiles/nol_support.dir/logging.cpp.o.d"
+  "CMakeFiles/nol_support.dir/stats.cpp.o"
+  "CMakeFiles/nol_support.dir/stats.cpp.o.d"
+  "CMakeFiles/nol_support.dir/strings.cpp.o"
+  "CMakeFiles/nol_support.dir/strings.cpp.o.d"
+  "libnol_support.a"
+  "libnol_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nol_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/chess.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/chess.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/chess.cpp.o.d"
+  "/root/repo/src/workloads/w164_gzip.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w164_gzip.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w164_gzip.cpp.o.d"
+  "/root/repo/src/workloads/w175_vpr.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w175_vpr.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w175_vpr.cpp.o.d"
+  "/root/repo/src/workloads/w177_mesa.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w177_mesa.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w177_mesa.cpp.o.d"
+  "/root/repo/src/workloads/w179_art.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w179_art.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w179_art.cpp.o.d"
+  "/root/repo/src/workloads/w183_equake.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w183_equake.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w183_equake.cpp.o.d"
+  "/root/repo/src/workloads/w188_ammp.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w188_ammp.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w188_ammp.cpp.o.d"
+  "/root/repo/src/workloads/w300_twolf.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w300_twolf.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w300_twolf.cpp.o.d"
+  "/root/repo/src/workloads/w401_bzip2.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w401_bzip2.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w401_bzip2.cpp.o.d"
+  "/root/repo/src/workloads/w429_mcf.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w429_mcf.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w429_mcf.cpp.o.d"
+  "/root/repo/src/workloads/w433_milc.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w433_milc.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w433_milc.cpp.o.d"
+  "/root/repo/src/workloads/w445_gobmk.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w445_gobmk.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w445_gobmk.cpp.o.d"
+  "/root/repo/src/workloads/w456_hmmer.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w456_hmmer.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w456_hmmer.cpp.o.d"
+  "/root/repo/src/workloads/w458_sjeng.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w458_sjeng.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w458_sjeng.cpp.o.d"
+  "/root/repo/src/workloads/w462_libquantum.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w462_libquantum.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w462_libquantum.cpp.o.d"
+  "/root/repo/src/workloads/w464_h264ref.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w464_h264ref.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w464_h264ref.cpp.o.d"
+  "/root/repo/src/workloads/w470_lbm.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w470_lbm.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w470_lbm.cpp.o.d"
+  "/root/repo/src/workloads/w482_sphinx3.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/w482_sphinx3.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/w482_sphinx3.cpp.o.d"
+  "/root/repo/src/workloads/wl_common.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/wl_common.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/wl_common.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/workloads/CMakeFiles/nol_workloads.dir/workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/nol_workloads.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/nol_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/nol_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/nol_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/nol_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/nol_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/nol_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nol_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/nol_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

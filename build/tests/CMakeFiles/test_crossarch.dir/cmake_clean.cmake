@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossarch.dir/test_crossarch.cpp.o"
+  "CMakeFiles/test_crossarch.dir/test_crossarch.cpp.o.d"
+  "test_crossarch"
+  "test_crossarch.pdb"
+  "test_crossarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_units.dir/test_runtime_units.cpp.o"
+  "CMakeFiles/test_runtime_units.dir/test_runtime_units.cpp.o.d"
+  "test_runtime_units"
+  "test_runtime_units.pdb"
+  "test_runtime_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
