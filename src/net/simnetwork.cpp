@@ -66,15 +66,21 @@ SimNetwork::transferTimeUnscaledNs(uint64_t bytes) const
     return spec_.latencyUs * 1e3 + serialize_s * 1e9;
 }
 
-double
-SimNetwork::transferUnscaled(Direction direction, uint64_t bytes)
+void
+SimNetwork::account(Direction direction, uint64_t bytes, double ns)
 {
-    double ns = transferTimeUnscaledNs(bytes);
     TrafficStats &stats =
         direction == Direction::MobileToServer ? to_server_ : to_mobile_;
     ++stats.messages;
     stats.bytes += bytes;
     stats.seconds += ns * 1e-9;
+}
+
+double
+SimNetwork::transferUnscaled(Direction direction, uint64_t bytes)
+{
+    double ns = transferTimeUnscaledNs(bytes);
+    account(direction, bytes, ns);
     return ns;
 }
 
@@ -82,12 +88,119 @@ double
 SimNetwork::transfer(Direction direction, uint64_t bytes)
 {
     double ns = transferTimeNs(bytes);
-    TrafficStats &stats =
-        direction == Direction::MobileToServer ? to_server_ : to_mobile_;
-    ++stats.messages;
-    stats.bytes += bytes;
-    stats.seconds += ns * 1e-9;
+    account(direction, bytes, ns);
     return ns;
+}
+
+// --- Fault injection -------------------------------------------------------
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Drop: return "drop";
+      case FaultKind::LatencySpike: return "latency-spike";
+      case FaultKind::Disconnect: return "disconnect";
+      case FaultKind::Reconnect: return "reconnect";
+    }
+    return "?";
+}
+
+FaultPlan
+FaultPlan::fromSeed(uint64_t sweep_seed)
+{
+    Rng rng(sweep_seed);
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = sweep_seed;
+    plan.dropRate = rng.uniform() * 0.3;
+    plan.latencySpikeRate = rng.uniform() * 0.2;
+    plan.latencySpikeFactor = 2.0 + rng.uniform() * 18.0;
+    plan.bandwidthFactor = 1.0 + rng.uniform() * 3.0;
+    if (rng.chance(0.4))
+        plan.disconnectAtMessage = 1 + rng.below(120);
+    if (rng.chance(0.3))
+        plan.disconnectAtByte = 1 + rng.below(2'000'000);
+    if (rng.chance(0.5))
+        plan.reconnectAfterAttempts = 1 + rng.below(8);
+    return plan;
+}
+
+void
+SimNetwork::setFaultPlan(const FaultPlan &plan)
+{
+    plan_ = plan;
+    fault_rng_.reseed(plan.seed);
+    link_up_ = true;
+    msg_disconnect_fired_ = false;
+    byte_disconnect_fired_ = false;
+    attempts_ = 0;
+    attempted_bytes_ = 0;
+    down_attempts_ = 0;
+    events_.clear();
+}
+
+TransferResult
+SimNetwork::tryTransfer(Direction direction, uint64_t bytes, bool unscaled)
+{
+    if (!plan_.enabled) {
+        double ns = unscaled ? transferUnscaled(direction, bytes)
+                             : transfer(direction, bytes);
+        return {TransferOutcome::Delivered, ns};
+    }
+
+    ++attempts_;
+    attempted_bytes_ += bytes;
+
+    if (!link_up_) {
+        if (plan_.reconnectAfterAttempts != 0 &&
+            down_attempts_ >= plan_.reconnectAfterAttempts) {
+            link_up_ = true;
+            down_attempts_ = 0;
+            events_.push_back({attempts_, FaultKind::Reconnect});
+        } else {
+            ++down_attempts_;
+            return {TransferOutcome::LinkDown, 0.0};
+        }
+    }
+
+    if (!msg_disconnect_fired_ && plan_.disconnectAtMessage != 0 &&
+        attempts_ >= plan_.disconnectAtMessage) {
+        msg_disconnect_fired_ = true;
+        link_up_ = false;
+    }
+    if (!byte_disconnect_fired_ && plan_.disconnectAtByte != 0 &&
+        attempted_bytes_ >= plan_.disconnectAtByte) {
+        byte_disconnect_fired_ = true;
+        link_up_ = false;
+    }
+    if (!link_up_) {
+        events_.push_back({attempts_, FaultKind::Disconnect});
+        down_attempts_ = 1;
+        return {TransferOutcome::LinkDown, 0.0};
+    }
+
+    // Draw both decisions every attempt so the random stream stays
+    // aligned regardless of which faults are configured.
+    bool dropped = fault_rng_.chance(plan_.dropRate);
+    bool spiked = fault_rng_.chance(plan_.latencySpikeRate);
+
+    double latency_ns = spec_.latencyUs * 1e3 *
+                        (spiked ? plan_.latencySpikeFactor : 1.0);
+    double bps = (unscaled ? spec_.bandwidthMbps * 1e6
+                           : effectiveBitsPerSecond()) /
+                 plan_.bandwidthFactor;
+    double ns = latency_ns + static_cast<double>(bytes) * 8.0 / bps * 1e9;
+
+    if (spiked)
+        events_.push_back({attempts_, FaultKind::LatencySpike});
+    // The radio transmitted either way: account the attempt.
+    account(direction, bytes, ns);
+    if (dropped) {
+        events_.push_back({attempts_, FaultKind::Drop});
+        return {TransferOutcome::Dropped, ns};
+    }
+    return {TransferOutcome::Delivered, ns};
 }
 
 void

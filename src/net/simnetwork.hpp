@@ -15,6 +15,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "support/rng.hpp"
 
 namespace nol::net {
 
@@ -52,6 +55,70 @@ NetworkSpec makeLteCloud();
 enum class Direction {
     MobileToServer,
     ServerToMobile,
+};
+
+/** Kind of one injected fault (recorded in the event trace). */
+enum class FaultKind {
+    Drop,         ///< transmitted but never delivered
+    LatencySpike, ///< delivered after inflated latency
+    Disconnect,   ///< link went hard-down before this attempt
+    Reconnect,    ///< link healed before this attempt
+};
+
+/** Printable fault-kind name. */
+const char *faultKindName(FaultKind kind);
+
+/** One injected fault, keyed by the global attempt counter. */
+struct FaultEvent {
+    uint64_t attempt = 0; ///< 1-based attempt index when it fired
+    FaultKind kind = FaultKind::Drop;
+
+    bool operator==(const FaultEvent &other) const
+    {
+        return attempt == other.attempt && kind == other.kind;
+    }
+};
+
+/**
+ * Deterministic fault schedule. Every random decision is drawn from a
+ * private Rng seeded with `seed`, one draw pair per attempt in attempt
+ * order, so the same plan over the same message sequence produces a
+ * bit-identical event trace. A default-constructed plan is disabled
+ * and the injection path is never entered: fault-free runs stay
+ * byte-identical to builds without this layer.
+ */
+struct FaultPlan {
+    bool enabled = false;
+    uint64_t seed = 0;
+    double dropRate = 0.0;            ///< per-attempt delivery loss
+    double latencySpikeRate = 0.0;    ///< per-attempt latency spike
+    double latencySpikeFactor = 10.0; ///< spike multiplies latencyUs
+    double bandwidthFactor = 1.0;     ///< divides effective bandwidth
+    uint64_t disconnectAtMessage = 0; ///< link-down at attempt N (0 = never)
+    uint64_t disconnectAtByte = 0;    ///< link-down once attempted bytes ≥ N
+    uint64_t reconnectAfterAttempts = 0; ///< failed attempts while down
+                                         ///< before the link heals (0 =
+                                         ///< stays down forever)
+
+    /**
+     * A mixed random-but-reproducible plan for seed sweeps: drop rate,
+     * spikes, degradation and disconnect schedule all derived from
+     * @p sweep_seed alone.
+     */
+    static FaultPlan fromSeed(uint64_t sweep_seed);
+};
+
+/** What happened to one transfer attempt. */
+enum class TransferOutcome {
+    Delivered, ///< arrived; ns is the full transfer duration
+    Dropped,   ///< transmitted and lost; ns is the wasted send time
+    LinkDown,  ///< nothing transmitted; the sender must time out
+};
+
+/** Outcome + duration of one attempt. */
+struct TransferResult {
+    TransferOutcome outcome = TransferOutcome::Delivered;
+    double ns = 0;
 };
 
 /** Per-direction traffic statistics. */
@@ -104,6 +171,31 @@ class SimNetwork
     /** As transfer(), but at the unscaled bandwidth. */
     double transferUnscaled(Direction direction, uint64_t bytes);
 
+    // --- Fault injection ------------------------------------------------
+
+    /** Install @p plan and reset all injector state. */
+    void setFaultPlan(const FaultPlan &plan);
+
+    const FaultPlan &faultPlan() const { return plan_; }
+
+    /** False while a hard disconnect is in effect. */
+    bool linkUp() const { return link_up_; }
+
+    /**
+     * Attempt one transfer under the fault plan. Delivered and Dropped
+     * attempts are accounted in the traffic stats (both consumed the
+     * radio); LinkDown attempts are not. With the plan disabled this
+     * is exactly transfer()/transferUnscaled().
+     */
+    TransferResult tryTransfer(Direction direction, uint64_t bytes,
+                               bool unscaled = false);
+
+    /** Every fault injected so far, in attempt order. */
+    const std::vector<FaultEvent> &faultEvents() const { return events_; }
+
+    /** Total attempts seen by the injector (tryTransfer calls). */
+    uint64_t attemptCount() const { return attempts_; }
+
     const TrafficStats &toServer() const { return to_server_; }
     const TrafficStats &toMobile() const { return to_mobile_; }
 
@@ -116,10 +208,23 @@ class SimNetwork
     void resetStats();
 
   private:
+    void account(Direction direction, uint64_t bytes, double ns);
+
     NetworkSpec spec_;
     double scale_;
     TrafficStats to_server_;
     TrafficStats to_mobile_;
+
+    // Fault-injector state (inert while plan_.enabled is false).
+    FaultPlan plan_;
+    Rng fault_rng_;
+    bool link_up_ = true;
+    bool msg_disconnect_fired_ = false;
+    bool byte_disconnect_fired_ = false;
+    uint64_t attempts_ = 0;
+    uint64_t attempted_bytes_ = 0;
+    uint64_t down_attempts_ = 0;
+    std::vector<FaultEvent> events_;
 };
 
 } // namespace nol::net

@@ -40,9 +40,10 @@ commCategoryName(CommCategory category)
 }
 
 CommManager::CommManager(sim::SimMachine &mobile, sim::SimMachine &server,
-                         net::SimNetwork &network, bool compression_enabled)
+                         net::SimNetwork &network, bool compression_enabled,
+                         RetryPolicy retry_policy)
     : mobile_(mobile), server_(server), network_(network),
-      compression_(compression_enabled)
+      compression_(compression_enabled), retry_policy_(retry_policy)
 {
 }
 
@@ -55,31 +56,84 @@ CommManager::syncClocks()
 }
 
 double
-CommManager::transferMobileToServer(uint64_t bytes, bool unscaled)
+CommManager::transferMobileToServer(uint64_t bytes, bool unscaled,
+                                    CommCategory category)
 {
-    syncClocks();
-    double ns =
-        unscaled
-            ? network_.transferUnscaled(net::Direction::MobileToServer,
-                                        bytes)
-            : network_.transfer(net::Direction::MobileToServer, bytes);
-    mobile_.advanceTime(ns, sim::PowerState::Transmit);
-    server_.advanceTime(ns, sim::PowerState::Idle);
-    return ns;
+    return transferWithRetry(net::Direction::MobileToServer, bytes,
+                             unscaled, category);
 }
 
 double
-CommManager::transferServerToMobile(uint64_t bytes, bool unscaled)
+CommManager::transferServerToMobile(uint64_t bytes, bool unscaled,
+                                    CommCategory category)
+{
+    return transferWithRetry(net::Direction::ServerToMobile, bytes,
+                             unscaled, category);
+}
+
+double
+CommManager::transferWithRetry(net::Direction direction, uint64_t bytes,
+                               bool unscaled, CommCategory category)
 {
     syncClocks();
-    double ns =
-        unscaled
-            ? network_.transferUnscaled(net::Direction::ServerToMobile,
-                                        bytes)
-            : network_.transfer(net::Direction::ServerToMobile, bytes);
-    mobile_.advanceTime(ns, sim::PowerState::Receive);
-    server_.advanceTime(ns, sim::PowerState::Idle);
-    return ns;
+    // Fast path: a perfect link needs no timeouts or acknowledgements.
+    // This is the only path taken when the fault plan is disabled, so
+    // fault-free runs are bit-identical to the pre-fault runtime.
+    if (!network_.faultPlan().enabled) {
+        double ns =
+            unscaled ? network_.transferUnscaled(direction, bytes)
+                     : network_.transfer(direction, bytes);
+        mobile_.advanceTime(ns, direction == net::Direction::MobileToServer
+                                    ? sim::PowerState::Transmit
+                                    : sim::PowerState::Receive);
+        server_.advanceTime(ns, sim::PowerState::Idle);
+        return ns;
+    }
+
+    sim::PowerState radio_state =
+        direction == net::Direction::MobileToServer
+            ? sim::PowerState::Transmit
+            : sim::PowerState::Receive;
+    double expected_ns = unscaled ? network_.transferTimeUnscaledNs(bytes)
+                                  : network_.transferTimeNs(bytes);
+    CommTotals &totals = totals_[category];
+    double total_ns = 0;
+    bool link_down = false;
+    for (uint32_t attempt = 0; attempt < retry_policy_.maxAttempts;
+         ++attempt) {
+        if (attempt > 0) {
+            double backoff = retry_policy_.backoffNs(attempt - 1);
+            mobile_.advanceTime(backoff, sim::PowerState::Waiting);
+            server_.advanceTime(backoff, sim::PowerState::Idle);
+            ++totals.retries;
+            totals.retrySeconds += backoff * 1e-9;
+            total_ns += backoff;
+        }
+        net::TransferResult result =
+            network_.tryTransfer(direction, bytes, unscaled);
+        if (result.outcome == net::TransferOutcome::Delivered) {
+            mobile_.advanceTime(result.ns, radio_state);
+            server_.advanceTime(result.ns, sim::PowerState::Idle);
+            return total_ns + result.ns;
+        }
+        link_down = result.outcome == net::TransferOutcome::LinkDown;
+        if (result.outcome == net::TransferOutcome::Dropped) {
+            // The radio burned the whole send before the loss.
+            mobile_.advanceTime(result.ns, radio_state);
+            server_.advanceTime(result.ns, sim::PowerState::Idle);
+            totals.retryWireBytes += bytes;
+            totals.retrySeconds += result.ns * 1e-9;
+            total_ns += result.ns;
+        }
+        // Wait out the acknowledgement timeout before retrying.
+        double timeout = retry_policy_.timeoutNs(expected_ns);
+        mobile_.advanceTime(timeout, sim::PowerState::Waiting);
+        server_.advanceTime(timeout, sim::PowerState::Idle);
+        totals.retrySeconds += timeout * 1e-9;
+        total_ns += timeout;
+    }
+    ++totals.failures;
+    throw CommFailure{category, link_down};
 }
 
 void
@@ -97,7 +151,7 @@ void
 CommManager::sendToServer(uint64_t bytes, CommCategory category)
 {
     double ns = transferMobileToServer(
-        bytes, category == CommCategory::RemoteIo);
+        bytes, category == CommCategory::RemoteIo, category);
     account(category, bytes, bytes, ns);
 }
 
@@ -117,7 +171,7 @@ CommManager::sendToMobile(uint64_t raw_bytes, CommCategory category,
         server_.advanceCompute(compressCost(raw_bytes));
     }
     double ns = transferServerToMobile(
-        wire, category == CommCategory::RemoteIo);
+        wire, category == CommCategory::RemoteIo, category);
     if (compression_ && compressible && raw_bytes > 0) {
         decompress_units_mobile_ += decompressCost(raw_bytes);
         mobile_.advanceCompute(decompressCost(raw_bytes));
@@ -134,7 +188,7 @@ CommManager::pushPagesToServer(const std::vector<uint64_t> &pages,
     // Batched: one message carries every page (the paper's batching
     // amortizes per-message overheads).
     uint64_t bytes = pages.size() * (sim::kPageSize + kPageHeader);
-    double ns = transferMobileToServer(bytes);
+    double ns = transferMobileToServer(bytes, false, category);
     account(category, bytes, bytes, ns);
     for (uint64_t page_num : pages) {
         server_.mem().installPage(page_num,
@@ -148,9 +202,10 @@ CommManager::fetchPageToServer(uint64_t page_num)
 {
     ++demand_faults_;
     // Request (server→mobile, small) then the page (mobile→server).
-    double ns1 = transferServerToMobile(64);
+    double ns1 = transferServerToMobile(64, false, CommCategory::Demand);
     account(CommCategory::Demand, 64, 64, ns1);
-    double ns2 = transferMobileToServer(sim::kPageSize + kPageHeader);
+    double ns2 = transferMobileToServer(sim::kPageSize + kPageHeader, false,
+                                        CommCategory::Demand);
     account(CommCategory::Demand, sim::kPageSize + kPageHeader,
             sim::kPageSize + kPageHeader, ns2);
     server_.mem().installPage(page_num, mobile_.mem().pageData(page_num));
@@ -213,7 +268,25 @@ CommManager::totalWireBytes() const
 {
     uint64_t total = 0;
     for (const auto &[category, totals] : totals_)
-        total += totals.wireBytes;
+        total += totals.wireBytes + totals.retryWireBytes;
+    return total;
+}
+
+uint64_t
+CommManager::totalRetries() const
+{
+    uint64_t total = 0;
+    for (const auto &[category, totals] : totals_)
+        total += totals.retries;
+    return total;
+}
+
+uint64_t
+CommManager::totalFailures() const
+{
+    uint64_t total = 0;
+    for (const auto &[category, totals] : totals_)
+        total += totals.failures;
     return total;
 }
 

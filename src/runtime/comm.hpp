@@ -36,6 +36,56 @@ struct CommTotals {
     uint64_t wireBytes = 0; ///< after compression
     uint64_t rawBytes = 0;  ///< before compression
     double seconds = 0;
+    // Fault-tolerance accounting (all zero on a clean link).
+    uint64_t retries = 0;        ///< attempts beyond the first
+    uint64_t retryWireBytes = 0; ///< bytes re-transmitted by retries
+    uint64_t failures = 0;       ///< transfers abandoned after the
+                                 ///< retry budget (trigger failover)
+    double retrySeconds = 0;     ///< timeouts + backoff + resends
+};
+
+/**
+ * Timeout and bounded-exponential-backoff policy for transfers over a
+ * faulty link. All arithmetic is deterministic and unit-testable.
+ */
+struct RetryPolicy {
+    uint32_t maxAttempts = 5;        ///< total attempts per message
+    double timeoutMultiplier = 2.0;  ///< timeout = mult*expected + grace
+    double timeoutGraceNs = 1e6;     ///< fixed ack-wait slack
+    double baseBackoffNs = 1e6;      ///< first retry delay
+    double backoffMultiplier = 2.0;  ///< growth per retry
+    double maxBackoffNs = 64e6;      ///< backoff ceiling
+
+    /** Delay before retry number @p retry (0-based), bounded above. */
+    double
+    backoffNs(uint32_t retry) const
+    {
+        double delay = baseBackoffNs;
+        for (uint32_t i = 0; i < retry; ++i) {
+            delay *= backoffMultiplier;
+            if (delay >= maxBackoffNs)
+                return maxBackoffNs;
+        }
+        return delay < maxBackoffNs ? delay : maxBackoffNs;
+    }
+
+    /** Sender-side ack timeout for a transfer expected to take
+     *  @p expected_ns. */
+    double
+    timeoutNs(double expected_ns) const
+    {
+        return expected_ns * timeoutMultiplier + timeoutGraceNs;
+    }
+};
+
+/**
+ * Thrown when a transfer exhausts its retry budget (lost messages or a
+ * hard-down link). The offload runtime catches it at the invocation
+ * boundary and fails over to local execution.
+ */
+struct CommFailure {
+    CommCategory category = CommCategory::Control;
+    bool linkDown = false; ///< true: hard disconnect, not just loss
 };
 
 /** Orchestrates all mobile↔server data movement. */
@@ -43,7 +93,8 @@ class CommManager
 {
   public:
     CommManager(sim::SimMachine &mobile, sim::SimMachine &server,
-                net::SimNetwork &network, bool compression_enabled);
+                net::SimNetwork &network, bool compression_enabled,
+                RetryPolicy retry_policy = {});
 
     /** Advance the earlier machine's clock to the later one's. */
     void syncClocks();
@@ -100,6 +151,14 @@ class CommManager
 
     uint64_t demandFaults() const { return demand_faults_; }
 
+    const RetryPolicy &retryPolicy() const { return retry_policy_; }
+
+    /** Retry attempts over all categories. */
+    uint64_t totalRetries() const;
+
+    /** Abandoned transfers (each one triggered a failover). */
+    uint64_t totalFailures() const;
+
     /** Simulated seconds the server spent compressing. */
     double
     compressSeconds() const
@@ -121,8 +180,14 @@ class CommManager
     void resetStats();
 
   private:
-    double transferMobileToServer(uint64_t bytes, bool unscaled = false);
-    double transferServerToMobile(uint64_t bytes, bool unscaled = false);
+    double transferMobileToServer(uint64_t bytes, bool unscaled = false,
+                                  CommCategory category =
+                                      CommCategory::Control);
+    double transferServerToMobile(uint64_t bytes, bool unscaled = false,
+                                  CommCategory category =
+                                      CommCategory::Control);
+    double transferWithRetry(net::Direction direction, uint64_t bytes,
+                             bool unscaled, CommCategory category);
     void account(CommCategory category, uint64_t wire, uint64_t raw,
                  double ns);
 
@@ -130,6 +195,7 @@ class CommManager
     sim::SimMachine &server_;
     net::SimNetwork &network_;
     bool compression_;
+    RetryPolicy retry_policy_;
     std::map<CommCategory, CommTotals> totals_;
     uint64_t demand_faults_ = 0;
     uint64_t compress_units_server_ = 0;

@@ -21,11 +21,16 @@ struct TargetKnowledge {
     double mobileSecondsPerInvocation = 0; ///< Tm per call
     uint64_t memBytes = 0;                 ///< M
     uint64_t observations = 0;
+    // Link-failure feedback (failover suppression).
+    uint64_t consecutiveFailures = 0; ///< failovers since last success
+    uint64_t totalFailures = 0;       ///< failovers ever
+    double suppressedUntilSeconds = 0; ///< no offload before this time
 };
 
 /** One decision with its reasoning. */
 struct DynDecision {
     bool offload = false;
+    bool suppressed = false; ///< declined because of recent failovers
     compiler::Estimate estimate;
 };
 
@@ -50,15 +55,26 @@ class DynamicEstimator
         knowledge_[target] = {mobile_seconds_per_invocation, mem_bytes, 0};
     }
 
-    /** Decide whether to offload this invocation of @p target. */
+    /**
+     * Decide whether to offload this invocation of @p target.
+     * @p now_seconds is the mobile clock; while the target is inside a
+     * failover-suppression window the decision is local without even
+     * probing the link. Once the window has passed one probe attempt
+     * is allowed (time-based recovery), and its outcome either resets
+     * or doubles the window.
+     */
     DynDecision
-    decide(const std::string &target) const
+    decide(const std::string &target, double now_seconds = 0.0) const
     {
         DynDecision decision;
         auto it = knowledge_.find(target);
         if (it == knowledge_.end())
             return decision; // unknown target: stay local
         const TargetKnowledge &know = it->second;
+        if (know.suppressedUntilSeconds > now_seconds) {
+            decision.suppressed = true;
+            return decision; // flaky link: stay local, no probe
+        }
         compiler::EstimatorParams params;
         params.speedRatio = speed_ratio_;
         params.bandwidthMbps = bandwidth_bps_ / 1e6;
@@ -89,6 +105,48 @@ class DynamicEstimator
             alpha * static_cast<double>(traffic_bytes) / 2.0);
         ++know.observations;
     }
+
+    /**
+     * An offload of @p target failed over mid-flight at mobile time
+     * @p now_seconds. Suppress further attempts for a window that
+     * doubles with each consecutive failure (bounded), so a
+     * permanently dead link converges to all-local execution with only
+     * a logarithmic number of recovery probes.
+     */
+    void
+    recordFailure(const std::string &target, double now_seconds)
+    {
+        TargetKnowledge &know = knowledge_[target];
+        ++know.consecutiveFailures;
+        ++know.totalFailures;
+        know.suppressedUntilSeconds =
+            now_seconds + failurePenaltySeconds(know.consecutiveFailures);
+    }
+
+    /** A later offload of @p target completed: the link recovered. */
+    void
+    recordSuccess(const std::string &target)
+    {
+        TargetKnowledge &know = knowledge_[target];
+        know.consecutiveFailures = 0;
+        know.suppressedUntilSeconds = 0;
+    }
+
+    /** Suppression window after the Nth consecutive failure (N ≥ 1). */
+    static double
+    failurePenaltySeconds(uint64_t consecutive_failures)
+    {
+        double penalty = kBasePenaltySeconds;
+        for (uint64_t i = 1; i < consecutive_failures; ++i) {
+            penalty *= 2.0;
+            if (penalty >= kMaxPenaltySeconds)
+                return kMaxPenaltySeconds;
+        }
+        return penalty < kMaxPenaltySeconds ? penalty : kMaxPenaltySeconds;
+    }
+
+    static constexpr double kBasePenaltySeconds = 0.5;
+    static constexpr double kMaxPenaltySeconds = 120.0;
 
     const std::map<std::string, TargetKnowledge> &knowledge() const
     {

@@ -50,6 +50,7 @@ struct RunContext {
 
     uint64_t offloads = 0;
     uint64_t localRuns = 0;
+    uint64_t failovers = 0;
     double serverComputeNs = 0;
     uint64_t fnPtrUnits = 0;
     std::vector<OffloadEvent> events;
@@ -60,11 +61,13 @@ struct RunContext {
           mobile(sim::MachineRole::Mobile, program.mobileSpec),
           server(sim::MachineRole::Server, program.serverSpec),
           network(config.network, config.memScale),
-          comm(mobile, server, network, config.compressionEnabled),
+          comm(mobile, server, network, config.compressionEnabled,
+               config.retry),
           dyn(program.estimatorParams.speedRatio,
               net::SimNetwork(config.network, config.memScale)
                   .effectiveBitsPerSecond())
     {
+        network.setFaultPlan(config.faultPlan);
         mobile.power().setRate(sim::PowerState::Receive,
                                config.network.receiveMw);
         mobile.power().setRate(sim::PowerState::Transmit,
@@ -331,21 +334,27 @@ class MobileEnv : public interp::DefaultEnv
         if (ctx_.cfg.idealOffload)
             return runIdeal(interp, target, args);
 
-        // Dynamic performance estimation (paper Sec. 4).
+        // Dynamic performance estimation (paper Sec. 4), extended with
+        // failover suppression: a recently flaky link keeps the target
+        // local without even probing, until the recovery window passes.
         DynDecision decision;
         decision.offload = true;
         if (ctx_.cfg.dynamicDecision) {
             ctx_.mobile.advanceCompute(30); // estimation cost
-            decision = ctx_.dyn.decide(target.name);
+            decision =
+                ctx_.dyn.decide(target.name, ctx_.mobile.nowNs() * 1e-9);
         }
-        if (!decision.offload)
-            return runLocal(interp, target, args, /*declined=*/true);
+        if (!decision.offload) {
+            return runLocal(interp, target, args, /*declined=*/true,
+                            decision.suppressed);
+        }
         return runRemote(interp, target, decision, args);
     }
 
     RtVal
     runLocal(interp::Interp &interp, const TargetEntry &target,
-             const std::vector<RtVal> &args, bool declined)
+             const std::vector<RtVal> &args, bool declined,
+             bool suppressed = false)
     {
         ++ctx_.localRuns;
         double start = ctx_.mobile.nowNs();
@@ -358,6 +367,7 @@ class MobileEnv : public interp::DefaultEnv
         OffloadEvent event;
         event.target = target.name;
         event.offloaded = false;
+        event.suppressed = suppressed;
         ctx_.events.push_back(event);
         return ret;
     }
@@ -420,12 +430,48 @@ class MobileEnv : public interp::DefaultEnv
         return out;
     }
 
+    /**
+     * Mobile-side state an aborted offload must roll back: everything
+     * a mid-flight remote invocation may have changed on the device
+     * before its write-back committed. Memory *content* needs no
+     * snapshot — pages only change at finalization, which is atomic
+     * behind the write-back transfer — but prefetch clears dirty bits
+     * and remote I/O replays console/file writes on the device.
+     */
+    struct FailoverSnapshot {
+        std::string console;
+        sim::SimFileSystem fs;
+        std::string input;
+        size_t inputPos = 0;
+        std::vector<uint64_t> dirtyPages;
+    };
+
     RtVal
     runRemote(interp::Interp &interp, const TargetEntry &target,
               const DynDecision &decision, std::vector<RtVal> &args)
     {
-        (void)interp;
-        ++ctx_.offloads;
+        // A perfect link can never fail a transfer, so the snapshot is
+        // only needed (and only paid for) when faults are injected.
+        if (!ctx_.network.faultPlan().enabled)
+            return executeRemote(target, decision, args);
+
+        FailoverSnapshot snapshot;
+        snapshot.console = ctx_.mobile.console();
+        snapshot.fs = ctx_.mobile.fs();
+        snapshot.input = ctx_.mobile.input();
+        snapshot.inputPos = ctx_.mobile.inputPos();
+        snapshot.dirtyPages = ctx_.mobile.mem().dirtyPages();
+        try {
+            return executeRemote(target, decision, args);
+        } catch (const CommFailure &failure) {
+            return failOver(interp, target, args, snapshot, failure);
+        }
+    }
+
+    RtVal
+    executeRemote(const TargetEntry &target, const DynDecision &decision,
+                  std::vector<RtVal> &args)
+    {
         uint64_t wire_before = ctx_.comm.totalWireBytes();
         uint64_t raw_before = ctx_.comm.totalRawBytes();
 
@@ -490,6 +536,8 @@ class MobileEnv : public interp::DefaultEnv
                          server_seconds *
                              ctx_.prog.estimatorParams.speedRatio,
                          traffic);
+        ctx_.dyn.recordSuccess(target.name);
+        ++ctx_.offloads;
 
         OffloadEvent event;
         event.target = target.name;
@@ -500,6 +548,54 @@ class MobileEnv : public interp::DefaultEnv
         event.rawTrafficBytes = static_cast<double>(
             ctx_.comm.totalRawBytes() - raw_before);
         event.serverSeconds = server_seconds;
+        ctx_.events.push_back(event);
+        return ret;
+    }
+
+    /**
+     * Mid-offload failover (the robustness layer CloneCloud and COARA
+     * require): the link died past the point of no return, so abort
+     * the server invocation, discard its partial state, roll the
+     * device back to the pre-offload snapshot and replay the target
+     * locally. The mobile clock only ever moves forward — the time
+     * burned on retries and timeouts stays burned.
+     */
+    RtVal
+    failOver(interp::Interp &interp, const TargetEntry &target,
+             std::vector<RtVal> &args, const FailoverSnapshot &snapshot,
+             const CommFailure &failure)
+    {
+        (void)failure;
+        // Terminate the offloading process: every partially transferred
+        // or computed server page is discarded.
+        ctx_.server.mem().setFaultHandler(nullptr);
+        ctx_.server.mem().clear();
+
+        // Roll back device-visible side effects of the aborted attempt
+        // (remote-I/O output replays, consumed input, cleared dirty
+        // bits); the local replay will regenerate them.
+        ctx_.mobile.console() = snapshot.console;
+        ctx_.mobile.fs() = snapshot.fs;
+        ctx_.mobile.input() = snapshot.input;
+        ctx_.mobile.inputPos() = snapshot.inputPos;
+        for (uint64_t page_num : snapshot.dirtyPages)
+            ctx_.mobile.mem().markDirty(page_num);
+
+        // Feed the failure back: suppress this target's offloads for a
+        // growing window so a flaky link converges to local execution.
+        ctx_.dyn.recordFailure(target.name, ctx_.mobile.nowNs() * 1e-9);
+        ++ctx_.failovers;
+        ++ctx_.localRuns;
+
+        double start = ctx_.mobile.nowNs();
+        RtVal ret = interp.call(target.mobileFn, args);
+        ctx_.dyn.observe(target.name, (ctx_.mobile.nowNs() - start) * 1e-9,
+                         0);
+
+        OffloadEvent event;
+        event.target = target.name;
+        event.offloaded = false;
+        event.failedOver = true;
         ctx_.events.push_back(event);
         return ret;
     }
@@ -599,6 +695,8 @@ OffloadSystem::run(const RunInput &input)
     report.offloads = ctx.offloads;
     report.localRuns = ctx.localRuns;
     report.demandFaults = ctx.comm.demandFaults();
+    report.retries = ctx.comm.totalRetries();
+    report.failovers = ctx.failovers;
     report.events = ctx.events;
     report.powerTimeline = ctx.mobile.power().timeline();
     return report;

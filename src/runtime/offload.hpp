@@ -36,6 +36,12 @@ struct SystemConfig {
     bool idealOffload = false;       ///< zero-overhead offloading
     uint64_t fnPtrTranslateCost = 60; ///< units per server indirect call
     uint64_t stepLimit = 4'000'000'000ull;
+    /** Deterministic network fault schedule (disabled by default: the
+     *  fault layer is strictly opt-in and zero-cost when off). */
+    net::FaultPlan faultPlan;
+    /** Per-message timeout + bounded-backoff retry policy, effective
+     *  only when the fault plan is enabled. */
+    RetryPolicy retry;
 
     SystemConfig();
 };
@@ -51,6 +57,10 @@ struct OffloadEvent {
     std::string target;
     bool offloaded = false;
     bool ideal = false;
+    bool failedOver = false;  ///< offload aborted mid-flight, replayed
+                              ///< locally from the pre-offload snapshot
+    bool suppressed = false;  ///< declined inside a failover-suppression
+                              ///< window (no link probe at all)
     double estimatedGain = 0;
     double trafficBytes = 0;     ///< wire bytes this invocation
     double rawTrafficBytes = 0;  ///< pre-compression bytes this invocation
@@ -81,6 +91,8 @@ struct RunReport {
     uint64_t offloads = 0;
     uint64_t localRuns = 0;   ///< stub executed locally (declined)
     uint64_t demandFaults = 0;
+    uint64_t retries = 0;     ///< message re-attempts over all categories
+    uint64_t failovers = 0;   ///< offloads aborted and replayed locally
 
     std::vector<OffloadEvent> events;
     std::vector<sim::PowerSegment> powerTimeline;

@@ -138,4 +138,12 @@ PagedMemory::clearDirty(uint64_t page_num)
         it->second.dirty = false;
 }
 
+void
+PagedMemory::markDirty(uint64_t page_num)
+{
+    auto it = pages_.find(page_num);
+    if (it != pages_.end())
+        it->second.dirty = true;
+}
+
 } // namespace nol::sim

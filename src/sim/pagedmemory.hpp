@@ -105,6 +105,13 @@ class PagedMemory
     /** Mark one page clean. */
     void clearDirty(uint64_t page_num);
 
+    /**
+     * Mark a present page dirty again (failover rollback: an aborted
+     * offload's prefetch cleared mobile dirty bits for pages whose
+     * server copies were then discarded).
+     */
+    void markDirty(uint64_t page_num);
+
     uint64_t pageCount() const { return pages_.size(); }
     uint64_t faultCount() const { return faults_; }
 

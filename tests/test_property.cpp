@@ -279,3 +279,115 @@ TEST_P(CompressorProperty, PageContentRoundTrips)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompressorProperty,
                          ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Property: fault injection never changes program behavior, retried
+// traffic only ever adds wire bytes, and the mobile power timeline
+// stays monotone through retries and failovers (no time travel).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** One shared page-sync program + fault-free baselines, built once. */
+struct FaultPropertyFixture {
+    core::Program program;
+    runtime::RunReport local;
+    runtime::RunReport clean;
+};
+
+const FaultPropertyFixture &
+faultPropertyFixture()
+{
+    static FaultPropertyFixture *fix = [] {
+        core::CompileRequest req;
+        req.name = "faultprop";
+        req.source = synthesizeSyncProgram(424243);
+        req.profilingInput.stdinText = "1";
+        auto *f = new FaultPropertyFixture{
+            core::Program::compile(req), {}, {}};
+        runtime::RunInput input;
+        input.stdinText = "1";
+        f->local = f->program.runLocal(input);
+        f->clean = f->program.run(runtime::SystemConfig{}, input);
+        return f;
+    }();
+    return *fix;
+}
+
+} // namespace
+
+class FaultRetryProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FaultRetryProperty, DropsOnlyAddBytesNeverChangeBehavior)
+{
+    const FaultPropertyFixture &fix = faultPropertyFixture();
+    ASSERT_TRUE(fix.program.hasTargets());
+
+    // Drop/spike/bandwidth faults only — no disconnects, so the retry
+    // budget (not failover) absorbs every loss... unless a message
+    // loses 5 straight coin flips, which is a legal failover too.
+    Rng rng(static_cast<uint64_t>(GetParam()) * 6151 + 11);
+    runtime::SystemConfig cfg;
+    cfg.faultPlan.enabled = true;
+    cfg.faultPlan.seed = rng.next();
+    cfg.faultPlan.dropRate = rng.uniform() * 0.35;
+    cfg.faultPlan.latencySpikeRate = rng.uniform() * 0.25;
+    cfg.faultPlan.latencySpikeFactor = 2.0 + rng.uniform() * 20.0;
+    cfg.faultPlan.bandwidthFactor = 1.0 + rng.uniform() * 3.0;
+
+    runtime::RunInput input;
+    input.stdinText = "1";
+    runtime::RunReport faulty = fix.program.run(cfg, input);
+
+    EXPECT_EQ(faulty.exitValue, fix.local.exitValue);
+    EXPECT_EQ(faulty.console, fix.local.console);
+
+    if (faulty.failovers == 0) {
+        // Same offload schedule as the clean run, plus retried bytes:
+        // wire traffic is monotone in the fault rate.
+        EXPECT_GE(faulty.wireBytes, fix.clean.wireBytes);
+        if (faulty.retries > 0)
+            EXPECT_GT(faulty.wireBytes, fix.clean.wireBytes);
+        // Faults cost time, never save it.
+        EXPECT_GE(faulty.mobileSeconds, fix.clean.mobileSeconds * 0.999);
+    }
+}
+
+TEST_P(FaultRetryProperty, MobileTimelineIsMonotoneUnderFaults)
+{
+    const FaultPropertyFixture &fix = faultPropertyFixture();
+
+    // Full fault schedule from the sweep generator, disconnects and
+    // all: failovers must keep the power timeline physically sane.
+    runtime::SystemConfig cfg;
+    cfg.faultPlan = net::FaultPlan::fromSeed(
+        static_cast<uint64_t>(GetParam()) * 28657 + 5);
+
+    runtime::RunInput input;
+    input.stdinText = "1";
+    runtime::RunReport faulty = fix.program.run(cfg, input);
+
+    EXPECT_EQ(faulty.exitValue, fix.local.exitValue);
+    EXPECT_EQ(faulty.console, fix.local.console);
+
+    ASSERT_FALSE(faulty.powerTimeline.empty());
+    const auto &timeline = faulty.powerTimeline;
+    for (size_t i = 0; i < timeline.size(); ++i) {
+        EXPECT_LE(timeline[i].startNs, timeline[i].endNs) << "segment " << i;
+        EXPECT_GT(timeline[i].milliwatts, 0.0) << "segment " << i;
+        if (i > 0) {
+            // Segments are recorded in mobile-clock order; the merge
+            // tolerance in PowerModel::accumulate is 1 ns.
+            EXPECT_GE(timeline[i].startNs, timeline[i - 1].endNs - 1.0)
+                << "segment " << i;
+        }
+    }
+    // The timeline covers the whole run: last segment ends at the
+    // final mobile clock (the report's wall time).
+    EXPECT_NEAR(timeline.back().endNs * 1e-9, faulty.mobileSeconds,
+                faulty.mobileSeconds * 0.01 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultRetryProperty, ::testing::Range(0, 10));

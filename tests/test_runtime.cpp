@@ -450,3 +450,95 @@ TEST(Offload, FunctionPointerTargetsWorkRemotely)
     // Translation overhead was charged.
     EXPECT_GT(off.breakdown.fnPtrTranslation, 0.0);
 }
+
+TEST(Offload, LossyLinkPopulatesRetryAccounting)
+{
+    compiler::CompiledProgram prog = compileHeavy();
+    SystemConfig local_cfg;
+    local_cfg.forceLocal = true;
+    RunReport local = OffloadSystem(prog, local_cfg).run(heavyInput());
+
+    SystemConfig cfg;
+    cfg.faultPlan.enabled = true;
+    cfg.faultPlan.seed = 77;
+    cfg.faultPlan.dropRate = 0.25;
+    RunReport report = OffloadSystem(prog, cfg).run(heavyInput());
+
+    // A 25% drop rate over the offload message stream must trigger
+    // retries, and every retried byte shows up in the wire total.
+    EXPECT_GT(report.retries, 0u);
+    EXPECT_GT(report.offloads, 0u);
+    EXPECT_EQ(report.failovers, 0u); // retry budget absorbs pure drops
+    EXPECT_EQ(report.exitValue, local.exitValue);
+    EXPECT_EQ(report.console, local.console);
+
+    RunReport clean = OffloadSystem(prog, SystemConfig{}).run(heavyInput());
+    EXPECT_GT(report.wireBytes, clean.wireBytes);
+}
+
+TEST(Offload, DeadLinkConvergesToAllLocal)
+{
+    // Many short target invocations against a link that dies on the
+    // very first message and never comes back: the estimator's
+    // suppression windows must throttle re-probing so only a handful
+    // of invocations pay the failover cost, and the rest run local
+    // without touching the radio.
+    const char *src = R"(
+        double* data;
+        double crunch(int rounds) {
+            double acc = 0.0;
+            for (int r = 0; r < rounds; r++) {
+                for (int i = 0; i < 150; i++) {
+                    data[i] = data[i] * 1.0001 + 0.01;
+                    acc += data[i];
+                }
+            }
+            return acc;
+        }
+        int main() {
+            data = (double*)malloc(sizeof(double) * 150);
+            for (int i = 0; i < 150; i++) data[i] = (double)i;
+            double total = 0.0;
+            for (int turn = 0; turn < 24; turn++) {
+                int c = getchar();  // taints main's loop: only crunch
+                                    // itself is an offload target, so it
+                                    // is invoked 24 separate times
+                total += crunch(4 + c % 3);
+            }
+            printf("%.3f\n", total);
+            return (int)total % 31;
+        }
+    )";
+    auto mod = frontend::compileSource(src, "dead.c");
+    compiler::CompileOptions options;
+    options.profilingInput.stdinText = "abcdefghijklmnopqrstuvwx";
+    compiler::CompiledProgram prog =
+        compiler::compileForOffload(std::move(mod), options);
+    ASSERT_FALSE(prog.partition.targets.empty());
+
+    RunInput input;
+    input.stdinText = "abcdefghijklmnopqrstuvwx";
+    SystemConfig local_cfg;
+    local_cfg.forceLocal = true;
+    RunReport local = OffloadSystem(prog, local_cfg).run(input);
+
+    SystemConfig cfg;
+    cfg.faultPlan.enabled = true;
+    cfg.faultPlan.disconnectAtMessage = 1; // dead from the start
+    RunReport report = OffloadSystem(prog, cfg).run(input);
+
+    EXPECT_EQ(report.offloads, 0u);
+    EXPECT_EQ(report.localRuns, 24u);
+    EXPECT_GE(report.failovers, 1u);
+    // No re-probe storm: the doubling suppression windows quickly
+    // exceed the per-invocation local runtime, so most invocations stay
+    // local without touching the dead radio at all.
+    EXPECT_LE(report.failovers, 8u);
+    uint64_t suppressed = 0;
+    for (const OffloadEvent &event : report.events)
+        suppressed += event.suppressed ? 1 : 0;
+    EXPECT_GT(suppressed, report.failovers);
+    EXPECT_EQ(suppressed + report.failovers, 24u);
+    EXPECT_EQ(report.exitValue, local.exitValue);
+    EXPECT_EQ(report.console, local.console);
+}

@@ -245,3 +245,159 @@ TEST(DynEstimator, BandwidthSensitivity)
     EXPECT_TRUE(fast.decide("t").offload);  // Tc ~0.38 s
     EXPECT_FALSE(slow.decide("t").offload); // Tc 320 s
 }
+
+// ---------------------------------------------------------------------------
+// CommManager under injected faults
+// ---------------------------------------------------------------------------
+
+TEST(Comm, PureDropsAreRetriedAndAccounted)
+{
+    CommFixture fix;
+    net::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 5;
+    plan.dropRate = 0.5;
+    fix.network.setFaultPlan(plan);
+    CommManager comm(fix.mobile, fix.server, fix.network, true);
+
+    // Plenty of messages: about half of all attempts are dropped, so
+    // retries must appear, and the run still completes (budget of 5
+    // attempts makes a full failure a (1/2)^5 event per message).
+    uint64_t sent = 0;
+    uint64_t failures = 0;
+    for (int i = 0; i < 40; ++i) {
+        try {
+            comm.sendToServer(4096, CommCategory::Control);
+            ++sent;
+        } catch (const CommFailure &) {
+            ++failures;
+        }
+    }
+    EXPECT_GT(sent, 30u);
+    EXPECT_GT(comm.totalRetries(), 0u);
+    EXPECT_EQ(comm.totalFailures(), failures);
+    // Dropped attempts burned the radio: the wire total exceeds the
+    // logical payload of the delivered messages.
+    EXPECT_GT(comm.totalWireBytes(), sent * 4096);
+    EXPECT_GT(comm.totals().at(CommCategory::Control).retrySeconds, 0.0);
+}
+
+TEST(Comm, CertainDropExhaustsBudgetAndThrows)
+{
+    CommFixture fix;
+    net::FaultPlan plan;
+    plan.enabled = true;
+    plan.dropRate = 1.0;
+    fix.network.setFaultPlan(plan);
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    CommManager comm(fix.mobile, fix.server, fix.network, true, policy);
+
+    double before = fix.mobile.nowNs();
+    bool threw = false;
+    try {
+        comm.sendToServer(1000, CommCategory::Prefetch);
+    } catch (const CommFailure &failure) {
+        threw = true;
+        EXPECT_EQ(static_cast<int>(failure.category),
+                  static_cast<int>(CommCategory::Prefetch));
+        EXPECT_FALSE(failure.linkDown); // drops, not a disconnect
+    }
+    ASSERT_TRUE(threw);
+    EXPECT_EQ(comm.totalFailures(), 1u);
+    EXPECT_EQ(comm.totalRetries(), 2u); // 3 attempts = 2 retries
+    // 3 dropped sends burned the radio.
+    EXPECT_EQ(comm.totals().at(CommCategory::Prefetch).retryWireBytes, 3000u);
+    // Time moved forward: sends + timeouts + backoffs.
+    EXPECT_GT(fix.mobile.nowNs(), before);
+    // The logical message itself was never delivered.
+    EXPECT_EQ(comm.totals().at(CommCategory::Prefetch).messages, 0u);
+}
+
+TEST(Comm, LinkDownFailureIsFlagged)
+{
+    CommFixture fix;
+    net::FaultPlan plan;
+    plan.enabled = true;
+    plan.disconnectAtMessage = 1;
+    fix.network.setFaultPlan(plan);
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    CommManager comm(fix.mobile, fix.server, fix.network, true, policy);
+
+    try {
+        comm.sendToServer(512, CommCategory::Control);
+        FAIL() << "expected CommFailure";
+    } catch (const CommFailure &failure) {
+        EXPECT_TRUE(failure.linkDown);
+    }
+    EXPECT_FALSE(fix.network.linkUp());
+    // A dead link burns no payload bytes (nothing was serialized).
+    EXPECT_EQ(comm.totals().at(CommCategory::Control).retryWireBytes, 0u);
+    EXPECT_EQ(comm.totalRetries(), 3u);
+}
+
+TEST(Comm, ReconnectWithinBudgetDelivers)
+{
+    CommFixture fix;
+    net::FaultPlan plan;
+    plan.enabled = true;
+    plan.disconnectAtMessage = 1;
+    plan.reconnectAfterAttempts = 2;
+    fix.network.setFaultPlan(plan);
+    CommManager comm(fix.mobile, fix.server, fix.network, true);
+
+    // Attempt 1 triggers the disconnect, attempt 2 finds the link still
+    // down, attempt 3 heals it and delivers: no failure surfaces.
+    comm.sendToServer(2048, CommCategory::Control);
+    EXPECT_TRUE(fix.network.linkUp());
+    EXPECT_EQ(comm.totalFailures(), 0u);
+    EXPECT_EQ(comm.totalRetries(), 2u);
+    EXPECT_EQ(comm.totals().at(CommCategory::Control).messages, 1u);
+    EXPECT_EQ(comm.totals().at(CommCategory::Control).wireBytes, 2048u);
+}
+
+// ---------------------------------------------------------------------------
+// DynamicEstimator failover suppression
+// ---------------------------------------------------------------------------
+
+TEST(DynEstimator, FailuresSuppressThenRecoveryProbes)
+{
+    DynamicEstimator dyn(5.0, 844e6);
+    dyn.seed("f", /*Tm=*/20.0, /*M=*/500'000);
+    ASSERT_TRUE(dyn.decide("f", 0.0).offload);
+
+    dyn.recordFailure("f", 10.0); // window [10, 10.5)
+    DynDecision inside = dyn.decide("f", 10.4);
+    EXPECT_FALSE(inside.offload);
+    EXPECT_TRUE(inside.suppressed);
+    DynDecision after = dyn.decide("f", 10.6);
+    EXPECT_TRUE(after.offload);
+    EXPECT_FALSE(after.suppressed);
+
+    // Unrelated targets are never suppressed.
+    dyn.seed("other", 20.0, 500'000);
+    EXPECT_TRUE(dyn.decide("other", 10.4).offload);
+}
+
+TEST(DynEstimator, ConsecutiveFailuresDoubleTheWindow)
+{
+    DynamicEstimator dyn(5.0, 844e6);
+    dyn.seed("f", 20.0, 500'000);
+    double now = 0.0;
+    double expected_window = 0.5;
+    for (int i = 0; i < 6; ++i) {
+        dyn.recordFailure("f", now);
+        EXPECT_TRUE(dyn.decide("f", now + expected_window * 0.9).suppressed)
+            << "failure " << i;
+        EXPECT_FALSE(dyn.decide("f", now + expected_window * 1.1).suppressed)
+            << "failure " << i;
+        now += expected_window * 1.1;
+        expected_window *= 2.0;
+    }
+    // One success resets the streak to the base window.
+    dyn.recordSuccess("f");
+    dyn.recordFailure("f", now);
+    EXPECT_TRUE(dyn.decide("f", now + 0.4).suppressed);
+    EXPECT_FALSE(dyn.decide("f", now + 0.6).suppressed);
+}
