@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Extension: multi-client scalability of the offload server. The paper
+ * evaluates one device against one server; this bench puts N identical
+ * clients (1–32) on the shared wireless medium and server admission
+ * queue and reports fleet throughput (offloads per second of virtual
+ * time) and per-client latency percentiles on both WiFi environments.
+ *
+ * Expected shape: throughput rises with N until the channel or the
+ * admission policy saturates, while client latency degrades smoothly —
+ * fair-share airtime and FIFO admission, so nobody starves and nothing
+ * deadlocks. Results land in BENCH_fleet.json next to the table.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench/benchlib.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+using namespace nol::bench;
+
+namespace {
+
+struct Cell {
+    const char *network = nullptr;
+    size_t clients = 0;
+    runtime::FleetReport fleet;
+};
+
+runtime::FleetReport
+runFleetCell(const core::Program &prog,
+             const workloads::WorkloadSpec &spec,
+             const net::NetworkSpec &network, size_t n)
+{
+    runtime::SystemConfig cfg;
+    cfg.network = network;
+    cfg.memScale = spec.memScale;
+
+    std::vector<runtime::FleetClient> clients;
+    for (size_t i = 0; i < n; ++i) {
+        runtime::FleetClient client;
+        client.name = "client-" + std::to_string(i);
+        client.config = cfg;
+        client.input.stdinText = spec.evalInput.stdinText;
+        client.input.files = spec.evalInput.files;
+        // Staggered arrivals (0.5 ms apart): devices are never
+        // perfectly synchronized.
+        client.startSeconds = static_cast<double>(i) * 0.0005;
+        clients.push_back(std::move(client));
+    }
+    // Patient clients: sessions hold a slot for the whole (virtual-
+    // minutes) offload, so the default 5 s queue timeout would deny
+    // everyone past the slot count and hide the queueing behaviour
+    // this bench is about. Saturation should show up as latency.
+    runtime::AdmissionPolicy policy;
+    policy.maxQueueWaitSeconds = 1e9;
+    return prog.runFleet(clients, policy);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Extension: fleet scalability — N clients, one "
+                "offload server ===\n\n");
+
+    const std::string workload_id = "179.art";
+    const workloads::WorkloadSpec *spec = workloads::workloadById(workload_id);
+    NOL_ASSERT(spec != nullptr, "unknown workload");
+    core::Program prog = compileWorkload(*spec);
+
+    struct Link {
+        const char *name;
+        net::NetworkSpec spec;
+    };
+    std::vector<Link> links = {{"802.11n", net::makeWifi80211n()},
+                               {"802.11ac", net::makeWifi80211ac()}};
+    std::vector<size_t> counts = {1, 2, 4, 8, 16, 32};
+
+    std::vector<Cell> cells;
+    for (const Link &link : links) {
+        std::printf("workload %s on %s\n", workload_id.c_str(), link.name);
+        TextTable table;
+        table.header({"Clients", "Offloads/s", "p50 latency", "p95 latency",
+                      "makespan", "waits", "denied", "peak flows"});
+        for (size_t n : counts) {
+            std::fprintf(stderr, "  [fleet] %s N=%zu ...\n", link.name, n);
+            Cell cell;
+            cell.network = link.name;
+            cell.clients = n;
+            cell.fleet = runFleetCell(prog, *spec, link.spec, n);
+            const runtime::FleetReport &f = cell.fleet;
+            table.row({std::to_string(n),
+                       fixed(f.offloadsPerSecond, 2),
+                       fixed(f.latencyP50Seconds, 3) + "s",
+                       fixed(f.latencyP95Seconds, 3) + "s",
+                       fixed(f.makespanSeconds, 3) + "s",
+                       std::to_string(f.admissionWaits),
+                       std::to_string(f.admissionDenials),
+                       std::to_string(f.peakConcurrentFlows)});
+            cells.push_back(std::move(cell));
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // Machine-readable results for plotting / regression tracking.
+    FILE *json = std::fopen("BENCH_fleet.json", "w");
+    NOL_ASSERT(json != nullptr, "cannot write BENCH_fleet.json");
+    std::fprintf(json, "{\n  \"workload\": \"%s\",\n  \"cells\": [\n",
+                 workload_id.c_str());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const runtime::FleetReport &f = cells[i].fleet;
+        std::fprintf(
+            json,
+            "    {\"network\": \"%s\", \"clients\": %zu, "
+            "\"offloads_per_second\": %.6f, \"latency_p50_s\": %.6f, "
+            "\"latency_p95_s\": %.6f, \"makespan_s\": %.6f, "
+            "\"total_offloads\": %llu, \"total_local_runs\": %llu, "
+            "\"admission_waits\": %llu, \"admission_denials\": %llu, "
+            "\"admission_wait_s\": %.6f, \"medium_busy_s\": %.6f, "
+            "\"peak_concurrent_flows\": %u, "
+            "\"peak_concurrent_sessions\": %u}%s\n",
+            cells[i].network, cells[i].clients, f.offloadsPerSecond,
+            f.latencyP50Seconds, f.latencyP95Seconds, f.makespanSeconds,
+            static_cast<unsigned long long>(f.totalOffloads),
+            static_cast<unsigned long long>(f.totalLocalRuns),
+            static_cast<unsigned long long>(f.admissionWaits),
+            static_cast<unsigned long long>(f.admissionDenials),
+            f.admissionWaitSeconds, f.mediumBusySeconds,
+            f.peakConcurrentFlows, f.peakConcurrentSessions,
+            i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_fleet.json\n");
+    return 0;
+}

@@ -51,4 +51,12 @@ Program::runIdeal(const runtime::RunInput &input) const
     return run(config, input);
 }
 
+runtime::FleetReport
+Program::runFleet(const std::vector<runtime::FleetClient> &clients,
+                  runtime::AdmissionPolicy policy) const
+{
+    runtime::ServerRuntime server(*compiled_, policy);
+    return server.run(clients);
+}
+
 } // namespace nol::core

@@ -29,6 +29,7 @@
 
 #include "compiler/driver.hpp"
 #include "runtime/offload.hpp"
+#include "runtime/server.hpp"
 
 namespace nol::core {
 
@@ -64,6 +65,16 @@ class Program
 
     /** Convenience: ideal zero-overhead offloading run. */
     runtime::RunReport runIdeal(const runtime::RunInput &input) const;
+
+    /**
+     * Simulate N concurrent clients of this program against one
+     * offload server on a shared timeline: contended wireless medium,
+     * bounded-concurrency admission, per-session UVA namespaces. A
+     * single-client fleet reproduces run() exactly.
+     */
+    runtime::FleetReport
+    runFleet(const std::vector<runtime::FleetClient> &clients,
+             runtime::AdmissionPolicy policy = {}) const;
 
     /** The full compile pipeline output. */
     const compiler::CompiledProgram &compiled() const { return *compiled_; }

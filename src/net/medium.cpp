@@ -1,0 +1,126 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace nol::net {
+
+double
+SharedMedium::transfer(sim::Strand &strand, double start_ns, uint64_t bytes,
+                       double bits_per_second, double latency_ns,
+                       double closed_form_ns)
+{
+    NOL_ASSERT(bits_per_second > 0, "medium transfer at zero rate");
+    // The flow lives on this strand's stack: the strand stays blocked
+    // (stack alive) until completeFlow() wakes it, which is also when
+    // the flow leaves active_.
+    Flow flow;
+    flow.id = next_flow_id_++;
+    flow.strand = &strand;
+    flow.startNs = start_ns;
+    flow.latencyNs = latency_ns;
+    flow.rateBps = bits_per_second;
+    flow.remainingBits = static_cast<double>(bytes) * 8.0;
+    flow.closedFormNs = closed_form_ns;
+
+    // All channel mutation happens inside events so concurrent
+    // sessions interleave deterministically (see eventloop.hpp).
+    Flow *raw = &flow;
+    loop_.schedule(start_ns, [this, raw] { beginFlow(raw); });
+    loop_.block(strand);
+    return flow.resultNs;
+}
+
+void
+SharedMedium::beginFlow(Flow *flow)
+{
+    double now = flow->startNs;
+    advanceProgress(now);
+    active_.push_back(flow);
+    ++stats_.flows;
+    uint32_t n = static_cast<uint32_t>(active_.size());
+    stats_.peakConcurrentFlows = std::max(stats_.peakConcurrentFlows, n);
+    if (n >= 2) {
+        for (Flow *f : active_) {
+            if (!f->contended) {
+                f->contended = true;
+                ++stats_.contendedFlows;
+            }
+        }
+    }
+    reschedule(now);
+}
+
+void
+SharedMedium::advanceProgress(double to_ns)
+{
+    size_t n = active_.size();
+    if (n > 0 && to_ns > last_progress_ns_) {
+        double elapsed_s = (to_ns - last_progress_ns_) * 1e-9;
+        stats_.busySeconds += elapsed_s;
+        double share = 1.0 / static_cast<double>(n);
+        for (Flow *flow : active_) {
+            flow->remainingBits -= elapsed_s * flow->rateBps * share;
+            if (flow->remainingBits < 0)
+                flow->remainingBits = 0;
+        }
+    }
+    if (to_ns > last_progress_ns_)
+        last_progress_ns_ = to_ns;
+}
+
+void
+SharedMedium::reschedule(double now_ns)
+{
+    if (pending_completion_event_ != 0) {
+        loop_.cancel(pending_completion_event_);
+        pending_completion_event_ = 0;
+    }
+    if (active_.empty())
+        return;
+    size_t n = active_.size();
+    const Flow *next = nullptr;
+    double next_at = 0;
+    for (const Flow *flow : active_) {
+        double rate = flow->rateBps / static_cast<double>(n);
+        double at = now_ns + flow->remainingBits / rate * 1e9;
+        if (next == nullptr || at < next_at) {
+            next = flow;
+            next_at = at;
+        }
+    }
+    uint64_t id = next->id;
+    pending_completion_event_ = loop_.schedule(
+        next_at, [this, id, next_at] { completeFlow(id, next_at); });
+}
+
+void
+SharedMedium::completeFlow(uint64_t flow_id, double at_ns)
+{
+    pending_completion_event_ = 0;
+    advanceProgress(at_ns);
+    Flow *flow = nullptr;
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+        if ((*it)->id == flow_id) {
+            flow = *it;
+            active_.erase(it);
+            break;
+        }
+    }
+    NOL_ASSERT(flow != nullptr, "completion of unknown flow %llu",
+               static_cast<unsigned long long>(flow_id));
+
+    // Uncontended flows take exactly the closed-form duration their
+    // SimNetwork computed — the bit-identical single-client guarantee.
+    // Contended flows pay fair-share serialization plus the latency
+    // tail (which does not occupy the channel).
+    double duration = flow->contended
+                          ? (at_ns - flow->startNs) + flow->latencyNs
+                          : flow->closedFormNs;
+    flow->resultNs = duration;
+    loop_.wake(*flow->strand, flow->startNs + duration);
+    reschedule(at_ns);
+}
+
+} // namespace nol::net

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The shared wireless medium of a multi-client fleet. SimNetwork
+ * remains each session's view of its own link (spec, scale factor,
+ * traffic statistics, fault injection); the SharedMedium is the one
+ * physical channel those links ride on. Transfers become timestamped
+ * flow events on the EventLoop: while a single flow is active it gets
+ * the full link and completes in exactly the closed-form duration
+ * SimNetwork would have computed (single-client timing is
+ * bit-identical), while overlapping flows divide the channel's airtime
+ * fairly — each of n concurrent flows progresses at rate/n — so N
+ * clients see honest queueing delays instead of N private networks.
+ *
+ * Per-message latency is a constant tail after serialization: the flow
+ * contends for the channel only while its bytes are in the air.
+ */
+#ifndef NOL_NET_MEDIUM_HPP
+#define NOL_NET_MEDIUM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/eventloop.hpp"
+
+namespace nol::net {
+
+/** What the channel saw over one fleet run. */
+struct MediumStats {
+    uint64_t flows = 0;          ///< transfers carried
+    uint64_t contendedFlows = 0; ///< transfers that ever shared airtime
+    uint32_t peakConcurrentFlows = 0;
+    double busySeconds = 0; ///< virtual time with ≥1 flow in the air
+};
+
+/** The channel itself. */
+class SharedMedium
+{
+  public:
+    explicit SharedMedium(sim::EventLoop &loop) : loop_(loop) {}
+
+    /**
+     * Carry @p bytes for the session running on @p strand, starting at
+     * virtual time @p start_ns at @p bits_per_second with
+     * @p latency_ns per-message latency. Cooperatively blocks the
+     * strand until delivery and returns the transfer duration in ns.
+     * @p closed_form_ns is the duration the session's SimNetwork would
+     * have charged on a private link; it is returned verbatim when the
+     * flow never shared the channel.
+     */
+    double transfer(sim::Strand &strand, double start_ns, uint64_t bytes,
+                    double bits_per_second, double latency_ns,
+                    double closed_form_ns);
+
+    const MediumStats &stats() const { return stats_; }
+
+  private:
+    // Owned by the stack frame of the blocked transfer() call; in
+    // active_ exactly while its bits are in the air.
+    struct Flow {
+        uint64_t id = 0;
+        sim::Strand *strand = nullptr;
+        double startNs = 0;
+        double latencyNs = 0;
+        double rateBps = 0;
+        double remainingBits = 0;
+        bool contended = false;
+        double closedFormNs = 0;
+        double resultNs = 0; ///< set at completion, read by the strand
+    };
+
+    void beginFlow(Flow *flow);
+    void completeFlow(uint64_t flow_id, double at_ns);
+    /** Drain served bits up to @p to_ns at the current share. */
+    void advanceProgress(double to_ns);
+    /** (Re)schedule the completion event of the earliest-done flow. */
+    void reschedule(double now_ns);
+
+    sim::EventLoop &loop_;
+    std::vector<Flow *> active_;
+    double last_progress_ns_ = 0;
+    uint64_t next_flow_id_ = 1;
+    uint64_t pending_completion_event_ = 0; ///< 0: none scheduled
+    MediumStats stats_;
+};
+
+} // namespace nol::net
+
+#endif // NOL_NET_MEDIUM_HPP

@@ -140,13 +140,18 @@ SimNetwork::setFaultPlan(const FaultPlan &plan)
     events_.clear();
 }
 
-TransferResult
-SimNetwork::tryTransfer(Direction direction, uint64_t bytes, bool unscaled)
+AttemptPlan
+SimNetwork::planAttempt(Direction direction, uint64_t bytes, bool unscaled)
 {
+    (void)direction;
+    AttemptPlan plan;
+    plan.latencyNs = spec_.latencyUs * 1e3;
+    plan.bitsPerSecond = bitsPerSecond(unscaled);
+
     if (!plan_.enabled) {
-        double ns = unscaled ? transferUnscaled(direction, bytes)
-                             : transfer(direction, bytes);
-        return {TransferOutcome::Delivered, ns};
+        plan.ns = unscaled ? transferTimeUnscaledNs(bytes)
+                           : transferTimeNs(bytes);
+        return plan;
     }
 
     ++attempts_;
@@ -160,7 +165,8 @@ SimNetwork::tryTransfer(Direction direction, uint64_t bytes, bool unscaled)
             events_.push_back({attempts_, FaultKind::Reconnect});
         } else {
             ++down_attempts_;
-            return {TransferOutcome::LinkDown, 0.0};
+            plan.outcome = TransferOutcome::LinkDown;
+            return plan;
         }
     }
 
@@ -177,7 +183,8 @@ SimNetwork::tryTransfer(Direction direction, uint64_t bytes, bool unscaled)
     if (!link_up_) {
         events_.push_back({attempts_, FaultKind::Disconnect});
         down_attempts_ = 1;
-        return {TransferOutcome::LinkDown, 0.0};
+        plan.outcome = TransferOutcome::LinkDown;
+        return plan;
     }
 
     // Draw both decisions every attempt so the random stream stays
@@ -185,22 +192,30 @@ SimNetwork::tryTransfer(Direction direction, uint64_t bytes, bool unscaled)
     bool dropped = fault_rng_.chance(plan_.dropRate);
     bool spiked = fault_rng_.chance(plan_.latencySpikeRate);
 
-    double latency_ns = spec_.latencyUs * 1e3 *
-                        (spiked ? plan_.latencySpikeFactor : 1.0);
-    double bps = (unscaled ? spec_.bandwidthMbps * 1e6
-                           : effectiveBitsPerSecond()) /
-                 plan_.bandwidthFactor;
-    double ns = latency_ns + static_cast<double>(bytes) * 8.0 / bps * 1e9;
+    plan.latencyNs = spec_.latencyUs * 1e3 *
+                     (spiked ? plan_.latencySpikeFactor : 1.0);
+    plan.bitsPerSecond /= plan_.bandwidthFactor;
+    plan.ns = plan.latencyNs +
+              static_cast<double>(bytes) * 8.0 / plan.bitsPerSecond * 1e9;
 
     if (spiked)
         events_.push_back({attempts_, FaultKind::LatencySpike});
-    // The radio transmitted either way: account the attempt.
-    account(direction, bytes, ns);
     if (dropped) {
         events_.push_back({attempts_, FaultKind::Drop});
-        return {TransferOutcome::Dropped, ns};
+        plan.outcome = TransferOutcome::Dropped;
     }
-    return {TransferOutcome::Delivered, ns};
+    return plan;
+}
+
+TransferResult
+SimNetwork::tryTransfer(Direction direction, uint64_t bytes, bool unscaled)
+{
+    AttemptPlan plan = planAttempt(direction, bytes, unscaled);
+    if (plan.outcome == TransferOutcome::LinkDown)
+        return {TransferOutcome::LinkDown, 0.0};
+    // The radio transmitted either way: account the attempt.
+    account(direction, bytes, plan.ns);
+    return {plan.outcome, plan.ns};
 }
 
 void

@@ -121,6 +121,20 @@ struct TransferResult {
     double ns = 0;
 };
 
+/**
+ * The injector's decision for one attempt together with the link
+ * parameters it saw, split out from the duration computation so a
+ * contended SharedMedium can time the attempt instead of the
+ * closed-form pipe (the fault decision is per-session and must stay
+ * deterministic regardless of fleet interleaving).
+ */
+struct AttemptPlan {
+    TransferOutcome outcome = TransferOutcome::Delivered;
+    double latencyNs = 0;     ///< per-message latency (spiked if so)
+    double bitsPerSecond = 0; ///< effective rate for this attempt
+    double ns = 0;            ///< uncontended closed-form duration
+};
+
 /** Per-direction traffic statistics. */
 struct TrafficStats {
     uint64_t messages = 0;
@@ -171,6 +185,28 @@ class SimNetwork
     /** As transfer(), but at the unscaled bandwidth. */
     double transferUnscaled(Direction direction, uint64_t bytes);
 
+    /**
+     * Account one message whose duration @p ns was computed elsewhere
+     * (by the SharedMedium under fair-share contention). The byte and
+     * message statistics are identical to transfer(); only the time
+     * source differs.
+     */
+    void accountTransfer(Direction direction, uint64_t bytes, double ns)
+    {
+        account(direction, bytes, ns);
+    }
+
+    /** Per-message latency of this link in nanoseconds. */
+    double latencyNs() const { return spec_.latencyUs * 1e3; }
+
+    /** Effective rate in bits/s, scaled or raw (see transferTime*). */
+    double
+    bitsPerSecond(bool unscaled) const
+    {
+        return unscaled ? spec_.bandwidthMbps * 1e6
+                        : effectiveBitsPerSecond();
+    }
+
     // --- Fault injection ------------------------------------------------
 
     /** Install @p plan and reset all injector state. */
@@ -189,6 +225,19 @@ class SimNetwork
      */
     TransferResult tryTransfer(Direction direction, uint64_t bytes,
                                bool unscaled = false);
+
+    /**
+     * Decide the fate of one attempt (advancing the injector's random
+     * stream and event trace) WITHOUT accounting traffic or computing
+     * contended timing: the caller either uses the closed-form `ns` or
+     * asks the SharedMedium to time the attempt with the returned link
+     * parameters, then accounts via accountTransfer(). With the plan
+     * disabled this is a Delivered attempt at clean link parameters.
+     * tryTransfer() is exactly planAttempt() + account for transmitted
+     * attempts.
+     */
+    AttemptPlan planAttempt(Direction direction, uint64_t bytes,
+                            bool unscaled = false);
 
     /** Every fault injected so far, in attempt order. */
     const std::vector<FaultEvent> &faultEvents() const { return events_; }

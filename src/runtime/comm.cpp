@@ -1,6 +1,7 @@
 #include "runtime/comm.hpp"
 
 #include "compress/lz.hpp"
+#include "net/medium.hpp"
 #include "sim/costmodel.hpp"
 
 namespace nol::runtime {
@@ -72,6 +73,46 @@ CommManager::transferServerToMobile(uint64_t bytes, bool unscaled,
 }
 
 double
+CommManager::timedTransfer(net::Direction direction, uint64_t bytes,
+                           bool unscaled)
+{
+    if (medium_ == nullptr) {
+        return unscaled ? network_.transferUnscaled(direction, bytes)
+                        : network_.transfer(direction, bytes);
+    }
+    // Fleet mode: the SimNetwork supplies the link parameters and the
+    // closed-form duration; the SharedMedium serializes the bytes
+    // against every other session's flows. Callers synced the clocks,
+    // so mobile time is the flow's start on the shared timeline.
+    double closed = unscaled ? network_.transferTimeUnscaledNs(bytes)
+                             : network_.transferTimeNs(bytes);
+    double ns = medium_->transfer(*strand_, mobile_.nowNs(), bytes,
+                                  network_.bitsPerSecond(unscaled),
+                                  network_.latencyNs(), closed);
+    network_.accountTransfer(direction, bytes, ns);
+    return ns;
+}
+
+net::TransferResult
+CommManager::timedTryTransfer(net::Direction direction, uint64_t bytes,
+                              bool unscaled)
+{
+    if (medium_ == nullptr)
+        return network_.tryTransfer(direction, bytes, unscaled);
+    // The fault decision stays in the per-session SimNetwork (its RNG
+    // stream must not depend on fleet interleaving); only delivered or
+    // dropped attempts occupy the medium.
+    net::AttemptPlan plan = network_.planAttempt(direction, bytes, unscaled);
+    if (plan.outcome == net::TransferOutcome::LinkDown)
+        return {net::TransferOutcome::LinkDown, 0.0};
+    double ns = medium_->transfer(*strand_, mobile_.nowNs(), bytes,
+                                  plan.bitsPerSecond, plan.latencyNs,
+                                  plan.ns);
+    network_.accountTransfer(direction, bytes, ns);
+    return {plan.outcome, ns};
+}
+
+double
 CommManager::transferWithRetry(net::Direction direction, uint64_t bytes,
                                bool unscaled, CommCategory category)
 {
@@ -80,9 +121,7 @@ CommManager::transferWithRetry(net::Direction direction, uint64_t bytes,
     // This is the only path taken when the fault plan is disabled, so
     // fault-free runs are bit-identical to the pre-fault runtime.
     if (!network_.faultPlan().enabled) {
-        double ns =
-            unscaled ? network_.transferUnscaled(direction, bytes)
-                     : network_.transfer(direction, bytes);
+        double ns = timedTransfer(direction, bytes, unscaled);
         mobile_.advanceTime(ns, direction == net::Direction::MobileToServer
                                     ? sim::PowerState::Transmit
                                     : sim::PowerState::Receive);
@@ -110,7 +149,7 @@ CommManager::transferWithRetry(net::Direction direction, uint64_t bytes,
             total_ns += backoff;
         }
         net::TransferResult result =
-            network_.tryTransfer(direction, bytes, unscaled);
+            timedTryTransfer(direction, bytes, unscaled);
         if (result.outcome == net::TransferOutcome::Delivered) {
             mobile_.advanceTime(result.ns, radio_state);
             server_.advanceTime(result.ns, sim::PowerState::Idle);

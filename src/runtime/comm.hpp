@@ -16,6 +16,14 @@
 #include "net/simnetwork.hpp"
 #include "sim/simmachine.hpp"
 
+namespace nol::net {
+class SharedMedium;
+} // namespace nol::net
+
+namespace nol::sim {
+class Strand;
+} // namespace nol::sim
+
 namespace nol::runtime {
 
 /** Traffic categories (drive the Fig. 7 breakdown). */
@@ -177,6 +185,20 @@ class CommManager
 
     net::SimNetwork &network() { return network_; }
 
+    /**
+     * Fleet mode: time transfers on the shared @p medium (cooperatively
+     * blocking @p strand) instead of this session's closed-form private
+     * pipe. The SimNetwork keeps deciding fault outcomes and accounting
+     * traffic; only the time source changes. Never attached in a solo
+     * run, so single-client timing is untouched.
+     */
+    void
+    attachMedium(net::SharedMedium *medium, sim::Strand *strand)
+    {
+        medium_ = medium;
+        strand_ = strand;
+    }
+
     void resetStats();
 
   private:
@@ -188,6 +210,12 @@ class CommManager
                                       CommCategory::Control);
     double transferWithRetry(net::Direction direction, uint64_t bytes,
                              bool unscaled, CommCategory category);
+    /** Clean-link duration: private pipe, or the shared medium. */
+    double timedTransfer(net::Direction direction, uint64_t bytes,
+                         bool unscaled);
+    /** One faulty-link attempt, timed like timedTransfer(). */
+    net::TransferResult timedTryTransfer(net::Direction direction,
+                                         uint64_t bytes, bool unscaled);
     void account(CommCategory category, uint64_t wire, uint64_t raw,
                  double ns);
 
@@ -196,6 +224,8 @@ class CommManager
     net::SimNetwork &network_;
     bool compression_;
     RetryPolicy retry_policy_;
+    net::SharedMedium *medium_ = nullptr; ///< fleet mode only
+    sim::Strand *strand_ = nullptr;       ///< fleet mode only
     std::map<CommCategory, CommTotals> totals_;
     uint64_t demand_faults_ = 0;
     uint64_t compress_units_server_ = 0;

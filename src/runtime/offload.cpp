@@ -1,13 +1,6 @@
 #include "runtime/offload.hpp"
 
-#include <cstring>
-
-#include "compiler/partitioner.hpp"
-#include "interp/externals.hpp"
-#include "interp/interp.hpp"
-#include "interp/loader.hpp"
-#include "sim/costmodel.hpp"
-#include "support/strings.hpp"
+#include "runtime/session.hpp"
 
 namespace nol::runtime {
 
@@ -22,589 +15,6 @@ RunReport::trafficPerOffloadMb(double mem_scale) const
            (1e6 * static_cast<double>(offloads));
 }
 
-namespace {
-
-using interp::RtVal;
-
-/** One offload-enabled target, resolved in both modules. */
-struct TargetEntry {
-    std::string name;
-    int id = 0;
-    ir::Function *mobileFn = nullptr;
-    ir::Function *serverFn = nullptr;
-};
-
-/** Shared state of one run. */
-struct RunContext {
-    const compiler::CompiledProgram &prog;
-    const SystemConfig &cfg;
-    sim::SimMachine mobile;
-    sim::SimMachine server;
-    net::SimNetwork network;
-    CommManager comm;
-    UvaManager uva;
-    interp::ProgramImage mobileImage;
-    interp::ProgramImage serverImage;
-    DynamicEstimator dyn;
-    std::map<std::string, TargetEntry> targetsByStub;
-
-    uint64_t offloads = 0;
-    uint64_t localRuns = 0;
-    uint64_t failovers = 0;
-    double serverComputeNs = 0;
-    uint64_t fnPtrUnits = 0;
-    std::vector<OffloadEvent> events;
-
-    RunContext(const compiler::CompiledProgram &program,
-               const SystemConfig &config)
-        : prog(program), cfg(config),
-          mobile(sim::MachineRole::Mobile, program.mobileSpec),
-          server(sim::MachineRole::Server, program.serverSpec),
-          network(config.network, config.memScale),
-          comm(mobile, server, network, config.compressionEnabled,
-               config.retry),
-          dyn(program.estimatorParams.speedRatio,
-              net::SimNetwork(config.network, config.memScale)
-                  .effectiveBitsPerSecond())
-    {
-        network.setFaultPlan(config.faultPlan);
-        mobile.power().setRate(sim::PowerState::Receive,
-                               config.network.receiveMw);
-        mobile.power().setRate(sim::PowerState::Transmit,
-                               config.network.transmitMw);
-    }
-};
-
-/** Remote-I/O-aware environment of the server interpreter. */
-class ServerEnv : public interp::DefaultEnv
-{
-  public:
-    explicit ServerEnv(RunContext &ctx) : ctx_(ctx)
-    {
-        setUvaHeap(&ctx.uva.serverHeap());
-    }
-
-    RtVal
-    callExternal(interp::Interp &interp, const ir::Instruction &call,
-                 std::vector<RtVal> &args) override
-    {
-        const std::string &name = call.callee()->name();
-        if (name.rfind(compiler::kRemoteIoPrefix, 0) == 0)
-            return remoteIo(interp, name.substr(2), call, args);
-        return DefaultEnv::callExternal(interp, call, args);
-    }
-
-    void
-    onMachineAsm(interp::Interp &interp, const ir::Instruction &inst) override
-    {
-        (void)interp;
-        panic("machine-specific instruction \"%s\" reached the server — "
-              "the function filter must prevent this",
-              inst.asmText().c_str());
-    }
-
-    /** Ship any batched output to the mobile device. */
-    void
-    flushOutputs()
-    {
-        if (out_text_.empty() && file_ops_.empty())
-            return;
-        uint64_t bytes = 64 + out_text_.size();
-        for (const auto &[handle, data] : file_ops_)
-            bytes += 16 + data.size();
-        ctx_.comm.sendToMobile(bytes, CommCategory::RemoteIo);
-        ctx_.mobile.console() += out_text_;
-        for (const auto &[handle, data] : file_ops_) {
-            ctx_.mobile.fs().write(
-                handle, reinterpret_cast<const uint8_t *>(data.data()),
-                data.size());
-        }
-        out_text_.clear();
-        file_ops_.clear();
-    }
-
-  private:
-    /** Block size of the read-ahead cache for r_fgetc (buffered stdio). */
-    static constexpr uint64_t kReadAhead = 4096;
-
-    struct FileCursor {
-        uint64_t pos = 0;
-        uint64_t cacheBase = 0;
-        std::string cache;
-    };
-
-    /** Round trip to the mobile device: request + response. */
-    void
-    roundTrip(uint64_t request_bytes, uint64_t response_bytes)
-    {
-        flushOutputs();
-        ctx_.comm.sendToMobile(request_bytes, CommCategory::RemoteIo);
-        ctx_.mobile.advanceCompute(40); // request service on the device
-        ctx_.comm.sendToServer(response_bytes, CommCategory::RemoteIo);
-    }
-
-    FileCursor &
-    cursor(uint64_t handle)
-    {
-        return cursors_[handle];
-    }
-
-    /** Refill the read-ahead cache of @p handle at its cursor. */
-    void
-    refill(uint64_t handle)
-    {
-        FileCursor &cur = cursor(handle);
-        std::vector<uint8_t> buf(kReadAhead);
-        // The request carries the position; the mobile device seeks
-        // and reads one block on the server's behalf.
-        ctx_.mobile.fs().seek(handle, static_cast<int64_t>(cur.pos), 0);
-        uint64_t got = ctx_.mobile.fs().read(handle, buf.data(), kReadAhead);
-        roundTrip(64, 64 + got);
-        cur.cacheBase = cur.pos;
-        cur.cache.assign(reinterpret_cast<char *>(buf.data()), got);
-    }
-
-    RtVal
-    remoteIo(interp::Interp &interp, const std::string &op,
-             const ir::Instruction &call, std::vector<RtVal> &args)
-    {
-        (void)call;
-        sim::SimMachine &mob = ctx_.mobile;
-
-        // --- Output operations: batched one-way (cheap) ---------------
-        if (op == "printf") {
-            std::string fmt = interp.readCString(args[0].ptr());
-            std::string text = formatPrintf(interp, fmt, args, 1);
-            out_text_ += text;
-            maybeFlush();
-            return RtVal::ofInt(static_cast<int64_t>(text.size()));
-        }
-        if (op == "puts") {
-            out_text_ += interp.readCString(args[0].ptr());
-            out_text_ += '\n';
-            maybeFlush();
-            return RtVal::ofInt(0);
-        }
-        if (op == "putchar") {
-            out_text_ += static_cast<char>(args[0].i);
-            maybeFlush();
-            return RtVal::ofInt(args[0].i);
-        }
-        if (op == "fputc") {
-            file_ops_.emplace_back(args[1].ptr(),
-                                   std::string(1, static_cast<char>(args[0].i)));
-            maybeFlush();
-            return RtVal::ofInt(args[0].i);
-        }
-        if (op == "fwrite") {
-            uint64_t total = args[1].ptr() * args[2].ptr();
-            std::string data(total, '\0');
-            if (total > 0)
-                interp.readBytes(args[0].ptr(), total,
-                                 reinterpret_cast<uint8_t *>(data.data()));
-            file_ops_.emplace_back(args[3].ptr(), std::move(data));
-            maybeFlush();
-            uint64_t item = args[1].ptr() == 0 ? 1 : args[1].ptr();
-            return RtVal::ofInt(static_cast<int64_t>(total / item));
-        }
-
-        // --- Input operations: round trips (expensive) -----------------
-        if (op == "fopen") {
-            std::string path = interp.readCString(args[0].ptr());
-            std::string mode = interp.readCString(args[1].ptr());
-            roundTrip(64 + path.size(), 64);
-            uint64_t handle = mob.fs().open(path, mode);
-            if (handle != 0)
-                cursors_[handle] = {};
-            return RtVal::ofPtr(handle);
-        }
-        if (op == "fclose") {
-            roundTrip(64, 64);
-            cursors_.erase(args[0].ptr());
-            return RtVal::ofInt(mob.fs().close(args[0].ptr()) ? 0 : -1);
-        }
-        if (op == "fgetc") {
-            FileCursor &cur = cursor(args[0].ptr());
-            if (cur.pos < cur.cacheBase ||
-                cur.pos >= cur.cacheBase + cur.cache.size()) {
-                refill(args[0].ptr());
-            }
-            if (cur.pos >= cur.cacheBase + cur.cache.size())
-                return RtVal::ofInt(-1); // EOF
-            int c = static_cast<unsigned char>(
-                cur.cache[cur.pos - cur.cacheBase]);
-            ++cur.pos;
-            return RtVal::ofInt(c);
-        }
-        if (op == "feof") {
-            FileCursor &cur = cursor(args[0].ptr());
-            if (cur.pos >= cur.cacheBase + cur.cache.size())
-                refill(args[0].ptr());
-            bool eof = cur.pos >= cur.cacheBase + cur.cache.size();
-            return RtVal::ofInt(eof ? 1 : 0);
-        }
-        if (op == "fread") {
-            uint64_t total = args[1].ptr() * args[2].ptr();
-            FileCursor &cur = cursor(args[3].ptr());
-            std::vector<uint8_t> buf(total);
-            mob.fs().seek(args[3].ptr(), static_cast<int64_t>(cur.pos), 0);
-            uint64_t got = mob.fs().read(args[3].ptr(), buf.data(), total);
-            roundTrip(64, 64 + got);
-            if (got > 0)
-                interp.writeBytes(args[0].ptr(), got, buf.data());
-            cur.pos += got;
-            cur.cache.clear();
-            uint64_t item = args[1].ptr() == 0 ? 1 : args[1].ptr();
-            return RtVal::ofInt(static_cast<int64_t>(got / item));
-        }
-        if (op == "fseek") {
-            FileCursor &cur = cursor(args[0].ptr());
-            int whence = static_cast<int>(args[2].i);
-            if (whence == 0) {
-                cur.pos = static_cast<uint64_t>(args[1].i);
-            } else if (whence == 1) {
-                cur.pos = static_cast<uint64_t>(
-                    static_cast<int64_t>(cur.pos) + args[1].i);
-            } else {
-                roundTrip(64, 64);
-                mob.fs().seek(args[0].ptr(), 0, 2);
-                int64_t size = mob.fs().tell(args[0].ptr());
-                cur.pos = static_cast<uint64_t>(size + args[1].i);
-            }
-            cur.cache.clear();
-            return RtVal::ofInt(0);
-        }
-        if (op == "ftell") {
-            return RtVal::ofInt(
-                static_cast<int64_t>(cursor(args[0].ptr()).pos));
-        }
-        panic("unknown remote I/O operation r_%s", op.c_str());
-    }
-
-    void
-    maybeFlush()
-    {
-        uint64_t pending = out_text_.size();
-        for (const auto &[handle, data] : file_ops_)
-            pending += data.size();
-        if (pending >= kFlushThreshold)
-            flushOutputs();
-    }
-
-    static constexpr uint64_t kFlushThreshold = 8192;
-
-    RunContext &ctx_;
-    std::string out_text_;
-    std::vector<std::pair<uint64_t, std::string>> file_ops_;
-    std::map<uint64_t, FileCursor> cursors_;
-};
-
-/** Mobile-side environment: intercepts the offload stubs. */
-class MobileEnv : public interp::DefaultEnv
-{
-  public:
-    explicit MobileEnv(RunContext &ctx) : ctx_(ctx)
-    {
-        setUvaHeap(&ctx.uva.mobileHeap());
-    }
-
-    RtVal
-    callExternal(interp::Interp &interp, const ir::Instruction &call,
-                 std::vector<RtVal> &args) override
-    {
-        const std::string &name = call.callee()->name();
-        if (name.rfind(compiler::kOffloadStubPrefix, 0) == 0)
-            return handleOffload(interp, name, args);
-        return DefaultEnv::callExternal(interp, call, args);
-    }
-
-  private:
-    RtVal
-    handleOffload(interp::Interp &interp, const std::string &stub,
-                  std::vector<RtVal> &args)
-    {
-        auto it = ctx_.targetsByStub.find(stub);
-        NOL_ASSERT(it != ctx_.targetsByStub.end(), "unknown stub %s",
-                   stub.c_str());
-        const TargetEntry &target = it->second;
-
-        if (ctx_.cfg.forceLocal)
-            return runLocal(interp, target, args, /*declined=*/false);
-
-        if (ctx_.cfg.idealOffload)
-            return runIdeal(interp, target, args);
-
-        // Dynamic performance estimation (paper Sec. 4), extended with
-        // failover suppression: a recently flaky link keeps the target
-        // local without even probing, until the recovery window passes.
-        DynDecision decision;
-        decision.offload = true;
-        if (ctx_.cfg.dynamicDecision) {
-            ctx_.mobile.advanceCompute(30); // estimation cost
-            decision =
-                ctx_.dyn.decide(target.name, ctx_.mobile.nowNs() * 1e-9);
-        }
-        if (!decision.offload) {
-            return runLocal(interp, target, args, /*declined=*/true,
-                            decision.suppressed);
-        }
-        return runRemote(interp, target, decision, args);
-    }
-
-    RtVal
-    runLocal(interp::Interp &interp, const TargetEntry &target,
-             const std::vector<RtVal> &args, bool declined,
-             bool suppressed = false)
-    {
-        ++ctx_.localRuns;
-        double start = ctx_.mobile.nowNs();
-        RtVal ret = interp.call(target.mobileFn, args);
-        if (declined) {
-            // Keep the estimator's Tm fresh from the local run.
-            ctx_.dyn.observe(target.name,
-                             (ctx_.mobile.nowNs() - start) * 1e-9, 0);
-        }
-        OffloadEvent event;
-        event.target = target.name;
-        event.offloaded = false;
-        event.suppressed = suppressed;
-        ctx_.events.push_back(event);
-        return ret;
-    }
-
-    RtVal
-    runIdeal(interp::Interp &interp, const TargetEntry &target,
-             const std::vector<RtVal> &args)
-    {
-        // Zero-overhead offloading: the target runs at server speed
-        // while the device waits; no communication, no translation.
-        ++ctx_.offloads;
-        double old_ns = ctx_.mobile.setNsPerCostUnit(
-            ctx_.prog.serverSpec.nsPerCostUnit);
-        double old_scale = ctx_.mobile.setArithCostScale(
-            ctx_.prog.serverSpec.arithCostScale);
-        double old_mem = ctx_.mobile.setMemCostScale(
-            ctx_.prog.serverSpec.memCostScale);
-        sim::PowerState old_state =
-            ctx_.mobile.setComputeState(sim::PowerState::Waiting);
-        RtVal ret = interp.call(target.mobileFn, args);
-        ctx_.mobile.setNsPerCostUnit(old_ns);
-        ctx_.mobile.setArithCostScale(old_scale);
-        ctx_.mobile.setMemCostScale(old_mem);
-        ctx_.mobile.setComputeState(old_state);
-
-        OffloadEvent event;
-        event.target = target.name;
-        event.offloaded = true;
-        event.ideal = true;
-        ctx_.events.push_back(event);
-        return ret;
-    }
-
-    /** Pages to push at initialization (Fig. 5 "prefetch"). */
-    std::vector<uint64_t>
-    collectPrefetchPages(bool everything) const
-    {
-        auto in_uva = [](uint64_t page_num) {
-            uint64_t addr = page_num * sim::kPageSize;
-            return addr >= interp::kUvaGlobalBase &&
-                   addr < sim::kUvaHeapBase + sim::kUvaHeapSize;
-        };
-        std::vector<uint64_t> out;
-        if (everything) {
-            auto in_stack = [](uint64_t page_num) {
-                uint64_t addr = page_num * sim::kPageSize;
-                return addr >= sim::kMobileStackBase - sim::kStackSize &&
-                       addr < sim::kMobileStackBase;
-            };
-            for (uint64_t page : ctx_.mobile.mem().presentPages()) {
-                if (in_uva(page) || in_stack(page))
-                    out.push_back(page);
-            }
-            return out;
-        }
-        for (uint64_t page : ctx_.mobile.mem().dirtyPages()) {
-            if (in_uva(page))
-                out.push_back(page);
-        }
-        return out;
-    }
-
-    /**
-     * Mobile-side state an aborted offload must roll back: everything
-     * a mid-flight remote invocation may have changed on the device
-     * before its write-back committed. Memory *content* needs no
-     * snapshot — pages only change at finalization, which is atomic
-     * behind the write-back transfer — but prefetch clears dirty bits
-     * and remote I/O replays console/file writes on the device.
-     */
-    struct FailoverSnapshot {
-        std::string console;
-        sim::SimFileSystem fs;
-        std::string input;
-        size_t inputPos = 0;
-        std::vector<uint64_t> dirtyPages;
-    };
-
-    RtVal
-    runRemote(interp::Interp &interp, const TargetEntry &target,
-              const DynDecision &decision, std::vector<RtVal> &args)
-    {
-        // A perfect link can never fail a transfer, so the snapshot is
-        // only needed (and only paid for) when faults are injected.
-        if (!ctx_.network.faultPlan().enabled)
-            return executeRemote(target, decision, args);
-
-        FailoverSnapshot snapshot;
-        snapshot.console = ctx_.mobile.console();
-        snapshot.fs = ctx_.mobile.fs();
-        snapshot.input = ctx_.mobile.input();
-        snapshot.inputPos = ctx_.mobile.inputPos();
-        snapshot.dirtyPages = ctx_.mobile.mem().dirtyPages();
-        try {
-            return executeRemote(target, decision, args);
-        } catch (const CommFailure &failure) {
-            return failOver(interp, target, args, snapshot, failure);
-        }
-    }
-
-    RtVal
-    executeRemote(const TargetEntry &target, const DynDecision &decision,
-                  std::vector<RtVal> &args)
-    {
-        uint64_t wire_before = ctx_.comm.totalWireBytes();
-        uint64_t raw_before = ctx_.comm.totalRawBytes();
-
-        // --- Initialization (Fig. 5): offloading information + ------
-        // prefetch of the mobile heap.
-        ctx_.comm.sendToServer(128 + 16 * args.size(),
-                               CommCategory::Control);
-        if (ctx_.cfg.prefetchEnabled || !ctx_.cfg.copyOnDemand) {
-            std::vector<uint64_t> pages =
-                collectPrefetchPages(!ctx_.cfg.copyOnDemand);
-            ctx_.comm.pushPagesToServer(pages, CommCategory::Prefetch);
-        }
-
-        // Fresh server process: re-initialize server-local globals and
-        // service the rest by copy-on-demand.
-        interp::loadProgram(*ctx_.prog.partition.serverModule, ctx_.server,
-                            /*write_uva_content=*/false);
-        ctx_.server.mem().clearDirtyBits();
-        ctx_.server.mem().setFaultHandler([this](uint64_t page_num) {
-            if (ctx_.cfg.copyOnDemand &&
-                ctx_.mobile.mem().isPresent(page_num)) {
-                ctx_.comm.fetchPageToServer(page_num);
-            } else {
-                // Fresh page (server stack / new allocation) — or the
-                // send-all ablation already shipped everything.
-                ctx_.server.mem().installPage(page_num, nullptr);
-            }
-            return true;
-        });
-
-        // --- Offloading execution ------------------------------------
-        ServerEnv server_env(ctx_);
-        interp::Interp server_interp(ctx_.server,
-                                     *ctx_.prog.partition.serverModule,
-                                     ctx_.serverImage, server_env);
-        server_interp.setStepLimit(ctx_.cfg.stepLimit);
-        server_interp.setIndirectCallExtraCost(ctx_.cfg.fnPtrTranslateCost);
-
-        ctx_.comm.syncClocks();
-        uint64_t units_before = ctx_.server.computeUnits();
-        RtVal ret = server_interp.call(target.serverFn, args);
-        uint64_t units_exec = ctx_.server.computeUnits() - units_before;
-        ctx_.fnPtrUnits += server_interp.indirectExtraUnits();
-
-        // --- Finalization ----------------------------------------------
-        server_env.flushOutputs();
-        ctx_.comm.sendToMobile(64, CommCategory::Control); // return value
-        ctx_.comm.writeBackDirtyPages();
-        ctx_.server.mem().setFaultHandler(nullptr);
-        ctx_.server.mem().clear(); // terminate the offloading process
-        ctx_.comm.syncClocks();
-
-        double server_seconds =
-            static_cast<double>(units_exec) *
-            ctx_.prog.serverSpec.nsPerCostUnit * 1e-9;
-        ctx_.serverComputeNs += static_cast<double>(units_exec) *
-                                ctx_.prog.serverSpec.nsPerCostUnit;
-
-        uint64_t traffic =
-            ctx_.comm.totalRawBytes() - raw_before;
-        ctx_.dyn.observe(target.name,
-                         server_seconds *
-                             ctx_.prog.estimatorParams.speedRatio,
-                         traffic);
-        ctx_.dyn.recordSuccess(target.name);
-        ++ctx_.offloads;
-
-        OffloadEvent event;
-        event.target = target.name;
-        event.offloaded = true;
-        event.estimatedGain = decision.estimate.gain;
-        event.trafficBytes = static_cast<double>(
-            ctx_.comm.totalWireBytes() - wire_before);
-        event.rawTrafficBytes = static_cast<double>(
-            ctx_.comm.totalRawBytes() - raw_before);
-        event.serverSeconds = server_seconds;
-        ctx_.events.push_back(event);
-        return ret;
-    }
-
-    /**
-     * Mid-offload failover (the robustness layer CloneCloud and COARA
-     * require): the link died past the point of no return, so abort
-     * the server invocation, discard its partial state, roll the
-     * device back to the pre-offload snapshot and replay the target
-     * locally. The mobile clock only ever moves forward — the time
-     * burned on retries and timeouts stays burned.
-     */
-    RtVal
-    failOver(interp::Interp &interp, const TargetEntry &target,
-             std::vector<RtVal> &args, const FailoverSnapshot &snapshot,
-             const CommFailure &failure)
-    {
-        (void)failure;
-        // Terminate the offloading process: every partially transferred
-        // or computed server page is discarded.
-        ctx_.server.mem().setFaultHandler(nullptr);
-        ctx_.server.mem().clear();
-
-        // Roll back device-visible side effects of the aborted attempt
-        // (remote-I/O output replays, consumed input, cleared dirty
-        // bits); the local replay will regenerate them.
-        ctx_.mobile.console() = snapshot.console;
-        ctx_.mobile.fs() = snapshot.fs;
-        ctx_.mobile.input() = snapshot.input;
-        ctx_.mobile.inputPos() = snapshot.inputPos;
-        for (uint64_t page_num : snapshot.dirtyPages)
-            ctx_.mobile.mem().markDirty(page_num);
-
-        // Feed the failure back: suppress this target's offloads for a
-        // growing window so a flaky link converges to local execution.
-        ctx_.dyn.recordFailure(target.name, ctx_.mobile.nowNs() * 1e-9);
-        ++ctx_.failovers;
-        ++ctx_.localRuns;
-
-        double start = ctx_.mobile.nowNs();
-        RtVal ret = interp.call(target.mobileFn, args);
-        ctx_.dyn.observe(target.name, (ctx_.mobile.nowNs() - start) * 1e-9,
-                         0);
-
-        OffloadEvent event;
-        event.target = target.name;
-        event.offloaded = false;
-        event.failedOver = true;
-        ctx_.events.push_back(event);
-        return ret;
-    }
-
-    RunContext &ctx_;
-};
-
-} // namespace
-
 OffloadSystem::OffloadSystem(const compiler::CompiledProgram &program,
                              SystemConfig config)
     : program_(program), config_(std::move(config))
@@ -616,90 +26,11 @@ OffloadSystem::OffloadSystem(const compiler::CompiledProgram &program,
 RunReport
 OffloadSystem::run(const RunInput &input)
 {
-    RunContext ctx(program_, config_);
-    ctx.mobile.setInput(input.stdinText);
-    for (const auto &[path, contents] : input.files)
-        ctx.mobile.fs().putFile(path, contents);
-
-    const ir::Module &mobile_module = *program_.partition.mobileModule;
-    const ir::Module &server_module = *program_.partition.serverModule;
-    ctx.mobileImage = interp::loadProgram(mobile_module, ctx.mobile,
-                                          /*write_uva_content=*/true);
-    ctx.serverImage = interp::loadProgram(server_module, ctx.server,
-                                          /*write_uva_content=*/false);
-    ctx.server.mem().clearDirtyBits();
-
-    // Resolve targets in both modules and seed the dynamic estimator
-    // from the compile-time profile.
-    for (const compiler::PartitionedTarget &target :
-         program_.partition.targets) {
-        TargetEntry entry;
-        entry.name = target.name;
-        entry.id = target.id;
-        entry.mobileFn = mobile_module.functionByName(target.name);
-        entry.serverFn = server_module.functionByName(target.name);
-        NOL_ASSERT(entry.mobileFn != nullptr && entry.serverFn != nullptr,
-                   "target %s missing after partitioning",
-                   target.name.c_str());
-        ctx.targetsByStub[std::string(compiler::kOffloadStubPrefix) +
-                          target.name] = entry;
-
-        const profile::RegionProfile *region =
-            program_.profile.byName(target.name);
-        if (region != nullptr && region->invocations > 0) {
-            ctx.dyn.seed(target.name,
-                         region->execSeconds() /
-                             static_cast<double>(region->invocations),
-                         region->memBytes());
-        }
-    }
-
-    MobileEnv env(ctx);
-    interp::Interp interp(ctx.mobile, mobile_module, ctx.mobileImage, env);
-    interp.setStepLimit(config_.stepLimit);
-
-    ir::Function *entry_fn = mobile_module.functionByName("main");
-    NOL_ASSERT(entry_fn != nullptr, "mobile module lacks main()");
-
-    RunReport report;
-    report.exitValue = interp.call(entry_fn, {}).i;
-
-    // --- Assemble the report -------------------------------------------
-    report.console = ctx.mobile.console();
-    report.mobileSeconds = ctx.mobile.nowNs() * 1e-9;
-    report.energyMillijoules = ctx.mobile.power().energyMillijoules();
-
-    double server_ns_per_unit = program_.serverSpec.nsPerCostUnit;
-    double fn_ptr_s =
-        static_cast<double>(ctx.fnPtrUnits) * server_ns_per_unit * 1e-9;
-    report.breakdown.mobileCompute =
-        ctx.mobile.power().secondsInState(sim::PowerState::Compute) -
-        ctx.comm.decompressSeconds();
-    report.breakdown.serverCompute =
-        ctx.serverComputeNs * 1e-9 - fn_ptr_s;
-    report.breakdown.fnPtrTranslation = fn_ptr_s;
-    report.breakdown.remoteIo = ctx.comm.secondsIn(CommCategory::RemoteIo);
-    report.breakdown.communication =
-        ctx.comm.secondsIn(CommCategory::Control) +
-        ctx.comm.secondsIn(CommCategory::Prefetch) +
-        ctx.comm.secondsIn(CommCategory::Demand) +
-        ctx.comm.secondsIn(CommCategory::WriteBack) +
-        ctx.comm.compressSeconds() + ctx.comm.decompressSeconds();
-
-    report.wireBytes = ctx.comm.totalWireBytes();
-    report.rawBytes = ctx.comm.totalRawBytes();
-    for (const auto &[category, totals] : ctx.comm.totals())
-        report.bytesByCategory[commCategoryName(category)] =
-            totals.wireBytes;
-
-    report.offloads = ctx.offloads;
-    report.localRuns = ctx.localRuns;
-    report.demandFaults = ctx.comm.demandFaults();
-    report.retries = ctx.comm.totalRetries();
-    report.failovers = ctx.failovers;
-    report.events = ctx.events;
-    report.powerTimeline = ctx.mobile.power().timeline();
-    return report;
+    // The legacy single-client entry point: one solo Session, private
+    // machines and network, no shared timeline — the exact behavior
+    // (and timing) this class had before the fleet layering.
+    Session session(program_, config_);
+    return session.run(input);
 }
 
 } // namespace nol::runtime

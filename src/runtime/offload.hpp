@@ -61,6 +61,8 @@ struct OffloadEvent {
                               ///< locally from the pre-offload snapshot
     bool suppressed = false;  ///< declined inside a failover-suppression
                               ///< window (no link probe at all)
+    bool overflow = false;    ///< server admission denied (fleet mode);
+                              ///< the target ran locally instead
     double estimatedGain = 0;
     double trafficBytes = 0;     ///< wire bytes this invocation
     double rawTrafficBytes = 0;  ///< pre-compression bytes this invocation
@@ -93,6 +95,11 @@ struct RunReport {
     uint64_t demandFaults = 0;
     uint64_t retries = 0;     ///< message re-attempts over all categories
     uint64_t failovers = 0;   ///< offloads aborted and replayed locally
+
+    // Fleet-mode admission accounting (always zero in a solo run).
+    uint64_t admissionWaits = 0;   ///< offloads that queued for a slot
+    uint64_t admissionDenials = 0; ///< queue waits that timed out
+    double admissionWaitSeconds = 0;
 
     std::vector<OffloadEvent> events;
     std::vector<sim::PowerSegment> powerTimeline;

@@ -1,0 +1,188 @@
+#include "runtime/server.hpp"
+
+#include <algorithm>
+
+#include "net/medium.hpp"
+#include "sim/eventloop.hpp"
+#include "support/logging.hpp"
+
+namespace nol::runtime {
+
+ServerRuntime::ServerRuntime(const compiler::CompiledProgram &program,
+                             AdmissionPolicy policy)
+    : program_(program), policy_(policy)
+{
+    NOL_ASSERT(policy_.maxConcurrentSessions > 0,
+               "server must admit at least one session");
+}
+
+ServerRuntime::~ServerRuntime() = default;
+
+UvaManager &
+ServerRuntime::namespaceFor(uint64_t session_id)
+{
+    std::unique_ptr<UvaManager> &ns = namespaces_[session_id];
+    if (ns == nullptr)
+        ns.reset(new UvaManager());
+    return *ns;
+}
+
+AdmissionResult
+ServerRuntime::acquire(sim::Strand &strand, uint64_t session_id,
+                       double now_ns)
+{
+    (void)session_id;
+    NOL_ASSERT(loop_ != nullptr, "admission outside a fleet run");
+    AdmissionResult res;
+    // Admission is shared state: decide inside an event so concurrent
+    // requests serialize in virtual-time order (see eventloop.hpp).
+    loop_->schedule(now_ns, [this, &strand, &res, now_ns] {
+        if (active_ < policy_.maxConcurrentSessions) {
+            ++active_;
+            peak_active_ = std::max(peak_active_, active_);
+            res.granted = true;
+            loop_->wake(strand, now_ns);
+            return;
+        }
+        Waiter waiter;
+        waiter.strand = &strand;
+        waiter.result = &res;
+        waiter.enqueueNs = now_ns;
+        double deadline = now_ns + policy_.maxQueueWaitSeconds * 1e9;
+        waiter.timeoutEvent =
+            loop_->schedule(deadline, [this, &strand, &res, deadline] {
+                for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+                    if (it->strand == &strand) {
+                        queue_.erase(it);
+                        break;
+                    }
+                }
+                res.granted = false;
+                ++admission_denials_;
+                loop_->wake(strand, deadline);
+            });
+        queue_.push_back(waiter);
+        ++admission_waits_;
+    });
+    double wake_ns = loop_->block(strand);
+    res.wakeNs = wake_ns;
+    res.waitedNs = wake_ns - now_ns;
+    admission_wait_ns_ += res.waitedNs;
+    return res;
+}
+
+void
+ServerRuntime::release(uint64_t session_id, double now_ns)
+{
+    (void)session_id;
+    NOL_ASSERT(loop_ != nullptr, "release outside a fleet run");
+    loop_->schedule(now_ns, [this, now_ns] {
+        if (queue_.empty()) {
+            NOL_ASSERT(active_ > 0, "slot released but none held");
+            --active_;
+            return;
+        }
+        // The freed slot passes directly to the FIFO head; active_ is
+        // unchanged (one out, one in).
+        grant(queue_.front(), now_ns);
+        queue_.pop_front();
+    });
+}
+
+void
+ServerRuntime::grant(Waiter waiter, double now_ns)
+{
+    loop_->cancel(waiter.timeoutEvent);
+    waiter.result->granted = true;
+    loop_->wake(*waiter.strand, now_ns);
+}
+
+FleetReport
+ServerRuntime::run(const std::vector<FleetClient> &clients)
+{
+    NOL_ASSERT(!clients.empty(), "fleet run without clients");
+    sim::EventLoop loop;
+    net::SharedMedium medium(loop);
+    loop_ = &loop;
+    active_ = 0;
+    queue_.clear();
+    namespaces_.clear();
+    admission_waits_ = 0;
+    admission_denials_ = 0;
+    admission_wait_ns_ = 0;
+    peak_active_ = 0;
+
+    std::vector<std::unique_ptr<Session>> sessions;
+    sessions.reserve(clients.size());
+    FleetReport fleet;
+    fleet.clients.resize(clients.size());
+
+    for (size_t i = 0; i < clients.size(); ++i) {
+        FleetHooks hooks;
+        hooks.loop = &loop;
+        hooks.medium = &medium;
+        hooks.server = this;
+        hooks.sessionId = static_cast<uint64_t>(i) + 1;
+        hooks.startNs = clients[i].startSeconds * 1e9;
+        sessions.emplace_back(
+            new Session(program_, clients[i].config, hooks));
+    }
+    for (size_t i = 0; i < clients.size(); ++i) {
+        Session *session = sessions[i].get();
+        const FleetClient &client = clients[i];
+        RunReport *slot = &fleet.clients[i].report;
+        sim::Strand *strand = loop.spawn(
+            client.name, client.startSeconds * 1e9,
+            [session, &client, slot] { *slot = session->run(client.input); });
+        session->setStrand(strand);
+    }
+
+    loop.run();
+    loop_ = nullptr;
+
+    // --- Aggregate -----------------------------------------------------
+    std::vector<double> latencies;
+    latencies.reserve(clients.size());
+    for (size_t i = 0; i < clients.size(); ++i) {
+        FleetClientResult &result = fleet.clients[i];
+        result.name = clients[i].name;
+        result.startSeconds = clients[i].startSeconds;
+        result.finishSeconds = result.report.mobileSeconds;
+        result.latencySeconds = result.finishSeconds - result.startSeconds;
+        latencies.push_back(result.latencySeconds);
+
+        fleet.makespanSeconds =
+            std::max(fleet.makespanSeconds, result.finishSeconds);
+        fleet.totalOffloads += result.report.offloads;
+        fleet.totalLocalRuns += result.report.localRuns;
+        fleet.totalFailovers += result.report.failovers;
+        fleet.serverBusySeconds += result.report.breakdown.serverCompute +
+                                   result.report.breakdown.fnPtrTranslation;
+    }
+    fleet.admissionWaits = admission_waits_;
+    fleet.admissionDenials = admission_denials_;
+    fleet.admissionWaitSeconds = admission_wait_ns_ * 1e-9;
+    fleet.peakConcurrentSessions = peak_active_;
+    fleet.peakConcurrentFlows = medium.stats().peakConcurrentFlows;
+    fleet.mediumBusySeconds = medium.stats().busySeconds;
+    if (fleet.makespanSeconds > 0) {
+        fleet.offloadsPerSecond =
+            static_cast<double>(fleet.totalOffloads) / fleet.makespanSeconds;
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    auto nearest_rank = [&latencies](double p) {
+        size_t rank = static_cast<size_t>(
+            p * static_cast<double>(latencies.size()) + 0.999999);
+        if (rank < 1)
+            rank = 1;
+        if (rank > latencies.size())
+            rank = latencies.size();
+        return latencies[rank - 1];
+    };
+    fleet.latencyP50Seconds = nearest_rank(0.50);
+    fleet.latencyP95Seconds = nearest_rank(0.95);
+    return fleet;
+}
+
+} // namespace nol::runtime

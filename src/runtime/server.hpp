@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The multi-client offload server runtime: owns the fleet's shared
+ * discrete-event timeline (sim::EventLoop), the contended wireless
+ * medium (net::SharedMedium), per-session UVA namespaces, and admission
+ * control bounding how many offloading processes run concurrently.
+ *
+ * Admission policy: FIFO. An offload that arrives while all slots are
+ * busy queues; a released slot passes directly to the head waiter. A
+ * waiter that queues longer than the policy's timeout is denied and the
+ * session runs that target locally instead (overflow) — the fleet
+ * degrades to local execution under load rather than deadlocking.
+ */
+#ifndef NOL_RUNTIME_SERVER_HPP
+#define NOL_RUNTIME_SERVER_HPP
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/session.hpp"
+#include "runtime/uva.hpp"
+
+namespace nol::runtime {
+
+/** How many offloading processes the server accepts at once. */
+struct AdmissionPolicy {
+    uint32_t maxConcurrentSessions = 8;
+    double maxQueueWaitSeconds = 5.0; ///< then denied → run locally
+};
+
+/** Outcome of one admission request. */
+struct AdmissionResult {
+    bool granted = false;
+    double wakeNs = 0;   ///< virtual time the decision was delivered
+    double waitedNs = 0; ///< time spent queued (0 = immediate grant)
+};
+
+/** One client of a fleet run. */
+struct FleetClient {
+    std::string name;
+    SystemConfig config;
+    RunInput input;
+    double startSeconds = 0; ///< arrival time on the fleet timeline
+};
+
+/** One client's outcome. */
+struct FleetClientResult {
+    std::string name;
+    RunReport report;
+    double startSeconds = 0;
+    double finishSeconds = 0;
+    double latencySeconds = 0; ///< finish − start
+};
+
+/** Aggregate outcome of one fleet run. */
+struct FleetReport {
+    std::vector<FleetClientResult> clients;
+    double makespanSeconds = 0; ///< latest client finish
+    uint64_t totalOffloads = 0;
+    uint64_t totalLocalRuns = 0;
+    uint64_t totalFailovers = 0;
+    uint64_t admissionWaits = 0;
+    uint64_t admissionDenials = 0;
+    double admissionWaitSeconds = 0;
+    double serverBusySeconds = 0;  ///< Σ per-session server compute
+    double mediumBusySeconds = 0;  ///< virtual time with ≥1 flow in air
+    double offloadsPerSecond = 0;  ///< totalOffloads / makespan
+    double latencyP50Seconds = 0;
+    double latencyP95Seconds = 0;
+    uint32_t peakConcurrentSessions = 0; ///< admitted at once
+    uint32_t peakConcurrentFlows = 0;    ///< medium contention peak
+};
+
+/** The offload server plus the fleet harness around it. */
+class ServerRuntime
+{
+  public:
+    explicit ServerRuntime(const compiler::CompiledProgram &program,
+                           AdmissionPolicy policy = {});
+    ~ServerRuntime();
+
+    /** Simulate @p clients against one server; blocks until done. */
+    FleetReport run(const std::vector<FleetClient> &clients);
+
+    // --- Session-facing interface (called from session strands) --------
+
+    /**
+     * Request a server slot at virtual time @p now_ns. Cooperatively
+     * blocks the strand until granted or denied (queue timeout).
+     */
+    AdmissionResult acquire(sim::Strand &strand, uint64_t session_id,
+                            double now_ns);
+
+    /** Return a slot; the head waiter (if any) inherits it directly. */
+    void release(uint64_t session_id, double now_ns);
+
+    /** The per-session UVA namespace (created on first use). */
+    UvaManager &namespaceFor(uint64_t session_id);
+
+    const AdmissionPolicy &policy() const { return policy_; }
+
+  private:
+    struct Waiter {
+        sim::Strand *strand = nullptr;
+        AdmissionResult *result = nullptr;
+        double enqueueNs = 0;
+        uint64_t timeoutEvent = 0;
+    };
+
+    void grant(Waiter waiter, double now_ns);
+
+    const compiler::CompiledProgram &program_;
+    AdmissionPolicy policy_;
+
+    // Valid only during run() (the fleet's shared infrastructure).
+    sim::EventLoop *loop_ = nullptr;
+
+    uint32_t active_ = 0;
+    std::deque<Waiter> queue_;
+    std::map<uint64_t, std::unique_ptr<UvaManager>> namespaces_;
+
+    uint64_t admission_waits_ = 0;
+    uint64_t admission_denials_ = 0;
+    double admission_wait_ns_ = 0;
+    uint32_t peak_active_ = 0;
+};
+
+} // namespace nol::runtime
+
+#endif // NOL_RUNTIME_SERVER_HPP

@@ -1,0 +1,164 @@
+#include "sim/eventloop.hpp"
+
+#include "support/logging.hpp"
+
+namespace nol::sim {
+
+EventLoop::~EventLoop()
+{
+    // Normally run() completed and every strand body returned; joining
+    // is then immediate. Joining unfinished strands would deadlock, so
+    // that case is a hard error (run() panics on stalls first).
+    for (auto &strand : strands_) {
+        if (strand->thread_.joinable()) {
+            NOL_ASSERT(strand->done(),
+                       "EventLoop destroyed with live strand \"%s\"",
+                       strand->name_.c_str());
+            strand->thread_.join();
+        }
+    }
+}
+
+uint64_t
+EventLoop::schedule(double at_ns, std::function<void()> fn)
+{
+    uint64_t id = next_event_id_++;
+    order_[{at_ns, id}] = id;
+    events_[id] = Event{at_ns, id, std::move(fn)};
+    return id;
+}
+
+void
+EventLoop::cancel(uint64_t event_id)
+{
+    auto it = events_.find(event_id);
+    if (it == events_.end())
+        return;
+    order_.erase({it->second.atNs, event_id});
+    events_.erase(it);
+}
+
+Strand *
+EventLoop::spawn(std::string name, double start_ns,
+                 std::function<void()> body)
+{
+    strands_.emplace_back(new Strand(std::move(name), strands_.size(),
+                                     start_ns, std::move(body)));
+    return strands_.back().get();
+}
+
+Strand *
+EventLoop::nextReadyStrand()
+{
+    Strand *best = nullptr;
+    for (auto &strand : strands_) {
+        if (strand->state_ != Strand::State::Ready)
+            continue;
+        if (best == nullptr || strand->ready_at_ns_ < best->ready_at_ns_ ||
+            (strand->ready_at_ns_ == best->ready_at_ns_ &&
+             strand->id_ < best->id_)) {
+            best = strand.get();
+        }
+    }
+    return best;
+}
+
+void
+EventLoop::run()
+{
+    for (;;) {
+        Strand *strand = nextReadyStrand();
+        auto ev = order_.begin();
+        bool have_event = ev != order_.end();
+
+        if (strand != nullptr &&
+            (!have_event || strand->ready_at_ns_ <= ev->first.first)) {
+            observeTime(strand->ready_at_ns_);
+            resume(*strand);
+            continue;
+        }
+        if (have_event) {
+            uint64_t id = ev->second;
+            auto stored = events_.find(id);
+            std::function<void()> fn = std::move(stored->second.fn);
+            observeTime(ev->first.first);
+            order_.erase(ev);
+            events_.erase(stored);
+            fn();
+            continue;
+        }
+
+        // No runnable strand, no event. Either everything finished or
+        // some strands are blocked forever — a scheduling bug.
+        size_t blocked = 0;
+        for (auto &s : strands_) {
+            if (s->state_ == Strand::State::Blocked)
+                ++blocked;
+        }
+        NOL_ASSERT(blocked == 0,
+                   "event loop stalled: %zu strand(s) blocked with an "
+                   "empty event queue",
+                   blocked);
+        break;
+    }
+
+    for (auto &strand : strands_) {
+        if (strand->thread_.joinable())
+            strand->thread_.join();
+    }
+}
+
+void
+EventLoop::resume(Strand &strand)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!strand.started_) {
+        strand.started_ = true;
+        strand.thread_ = std::thread([this, &strand] { strandMain(strand); });
+    }
+    strand.state_ = Strand::State::Running;
+    strand.baton_ = true;
+    strand.cv_.notify_one();
+    controller_cv_.wait(lock, [&strand] { return !strand.baton_; });
+}
+
+void
+EventLoop::strandMain(Strand &strand)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        strand.cv_.wait(lock, [&strand] { return strand.baton_; });
+    }
+    strand.body_();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        strand.state_ = Strand::State::Done;
+        strand.baton_ = false;
+    }
+    controller_cv_.notify_one();
+}
+
+double
+EventLoop::block(Strand &strand)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    strand.state_ = Strand::State::Blocked;
+    strand.baton_ = false;
+    controller_cv_.notify_one();
+    strand.cv_.wait(lock, [&strand] { return strand.baton_; });
+    return strand.wake_at_ns_;
+}
+
+void
+EventLoop::wake(Strand &strand, double at_ns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    NOL_ASSERT(strand.state_ == Strand::State::Blocked,
+               "wake of strand \"%s\" which is not blocked",
+               strand.name_.c_str());
+    strand.state_ = Strand::State::Ready;
+    strand.ready_at_ns_ = at_ns;
+    strand.wake_at_ns_ = at_ns;
+}
+
+} // namespace nol::sim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Discrete-event scheduler: the single virtual timeline every machine,
+ * network flow and session shares. Before this layer each SimMachine
+ * owned a private clock and the runtime could only co-simulate one
+ * mobile/server pair in lock step; the EventLoop generalizes that to N
+ * concurrent sessions by ordering all shared-state interactions as
+ * timestamped events.
+ *
+ * Three pieces:
+ *
+ *  - VirtualClock: the per-machine clock, extracted from SimMachine.
+ *    Machines remain free-running resources (a mobile device computes
+ *    without consulting anyone), but every clock can be attached to an
+ *    EventLoop so the loop observes the furthest point any resource
+ *    has reached — its single now().
+ *
+ *  - Events: (time, seq, callback) entries dispatched in time order,
+ *    insertion order breaking ties. All mutation of *shared* fleet
+ *    state (the contended medium, server admission) happens inside
+ *    events, never directly from session code, which is what makes N
+ *    interleaved sessions deterministic.
+ *
+ *  - Strands: cooperative session threads. Exactly one of
+ *    {controller, one strand} ever runs (a baton, not parallelism), so
+ *    simulation state needs no locking and every run is reproducible.
+ *    A strand runs its session until it must touch the shared world,
+ *    posts an event at its current virtual time, and blocks; the
+ *    controller resumes whichever entity — pending event or runnable
+ *    strand — is earliest on the timeline.
+ *
+ * Causality rule: a strand may only be resumed while its ready time is
+ * ≤ every pending event time, and strands interact with shared state
+ * only through events posted at their own current time. Together these
+ * guarantee events fire in nondecreasing virtual-time order even
+ * though each session's machines advance asynchronously.
+ */
+#ifndef NOL_SIM_EVENTLOOP_HPP
+#define NOL_SIM_EVENTLOOP_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nol::sim {
+
+class EventLoop;
+
+/**
+ * A machine's clock, formerly a bare `double` inside SimMachine. When
+ * attached to an EventLoop every advance pushes the loop's horizon, so
+ * the loop's now() is the furthest virtual time any resource reached.
+ */
+class VirtualClock
+{
+  public:
+    double nowNs() const { return now_ns_; }
+
+    /** Advance by @p ns (identical arithmetic to the old `now_ns_ += ns`). */
+    void advance(double ns);
+
+    /** Bind to @p loop; the clock then reports progress to it. */
+    void attach(EventLoop *loop) { loop_ = loop; }
+
+    /** Rewind to zero (SimMachine::reset). Keeps the attachment. */
+    void reset() { now_ns_ = 0; }
+
+  private:
+    double now_ns_ = 0;
+    EventLoop *loop_ = nullptr;
+};
+
+/**
+ * One cooperative strand of execution (a fleet session). Created via
+ * EventLoop::spawn; its body runs on a dedicated thread but only while
+ * it holds the baton, so strands never truly run concurrently.
+ */
+class Strand
+{
+  public:
+    const std::string &name() const { return name_; }
+    bool done() const { return state_ == State::Done; }
+
+  private:
+    friend class EventLoop;
+    enum class State { Ready, Running, Blocked, Done };
+
+    explicit Strand(std::string name, uint64_t id, double start_ns,
+                    std::function<void()> body)
+        : name_(std::move(name)), id_(id), ready_at_ns_(start_ns),
+          body_(std::move(body))
+    {}
+
+    std::string name_;
+    uint64_t id_ = 0;
+    State state_ = State::Ready;
+    double ready_at_ns_ = 0; ///< virtual time it may next resume at
+    double wake_at_ns_ = 0;  ///< virtual time handed back by wake()
+    std::function<void()> body_;
+    std::thread thread_;
+    std::condition_variable cv_;
+    bool baton_ = false;
+    bool started_ = false;
+};
+
+/** The scheduler itself. */
+class EventLoop
+{
+  public:
+    EventLoop() = default;
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** Furthest virtual time any event or attached clock has reached. */
+    double now() const { return horizon_ns_; }
+
+    /** Clocks report progress here (via VirtualClock::advance). */
+    void observeTime(double ns)
+    {
+        if (ns > horizon_ns_)
+            horizon_ns_ = ns;
+    }
+
+    /**
+     * Post @p fn to run at virtual time @p at_ns. Events at equal
+     * times fire in posting order. Returns an id usable with cancel().
+     */
+    uint64_t schedule(double at_ns, std::function<void()> fn);
+
+    /** Drop a pending event; unknown/already-fired ids are ignored. */
+    void cancel(uint64_t event_id);
+
+    /**
+     * Create a strand that becomes runnable at @p start_ns. Must be
+     * called before run(); the body executes cooperatively inside it.
+     */
+    Strand *spawn(std::string name, double start_ns,
+                  std::function<void()> body);
+
+    /**
+     * Drive the timeline: resume strands and fire events in virtual
+     * time order until every strand completed and the queue drained.
+     * Panics on a stall (strands blocked with no event to wake them —
+     * always a bug, never a legitimate steady state).
+     */
+    void run();
+
+    /**
+     * From inside a strand: yield to the controller until an event
+     * calls wake(). Returns the virtual time passed to wake().
+     */
+    double block(Strand &strand);
+
+    /** From an event: make @p strand runnable at @p at_ns. */
+    void wake(Strand &strand, double at_ns);
+
+  private:
+    struct Event {
+        double atNs = 0;
+        uint64_t seq = 0;
+        std::function<void()> fn;
+    };
+
+    void resume(Strand &strand);
+    void strandMain(Strand &strand);
+    Strand *nextReadyStrand();
+
+    double horizon_ns_ = 0;
+    uint64_t next_event_id_ = 1;
+    // Dispatch order (time, seq) → event id; fn storage by id so
+    // cancel() is O(log n) and stale completion events are cheap.
+    std::map<std::pair<double, uint64_t>, uint64_t> order_;
+    std::map<uint64_t, Event> events_;
+    std::vector<std::unique_ptr<Strand>> strands_;
+
+    std::mutex mu_;
+    std::condition_variable controller_cv_;
+};
+
+// Hot path (every compute/time advance of every machine): keep inline.
+inline void
+VirtualClock::advance(double ns)
+{
+    now_ns_ += ns;
+    if (loop_ != nullptr)
+        loop_->observeTime(now_ns_);
+}
+
+} // namespace nol::sim
+
+#endif // NOL_SIM_EVENTLOOP_HPP

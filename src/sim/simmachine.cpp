@@ -19,8 +19,8 @@ SimMachine::advanceCompute(uint64_t cost_units)
 {
     compute_units_ += cost_units;
     double ns = static_cast<double>(cost_units) * spec_.nsPerCostUnit;
-    power_.accumulate(now_ns_, ns, compute_state_);
-    now_ns_ += ns;
+    power_.accumulate(clock_.nowNs(), ns, compute_state_);
+    clock_.advance(ns);
 }
 
 void
@@ -28,15 +28,15 @@ SimMachine::advanceTime(double ns, PowerState state)
 {
     if (ns <= 0)
         return;
-    power_.accumulate(now_ns_, ns, state);
-    now_ns_ += ns;
+    power_.accumulate(clock_.nowNs(), ns, state);
+    clock_.advance(ns);
 }
 
 void
 SimMachine::syncTo(double ns, PowerState state)
 {
-    if (ns > now_ns_)
-        advanceTime(ns - now_ns_, state);
+    if (ns > clock_.nowNs())
+        advanceTime(ns - clock_.nowNs(), state);
 }
 
 void
@@ -44,7 +44,7 @@ SimMachine::reset()
 {
     mem_.clear();
     native_heap_.reset();
-    now_ns_ = 0;
+    clock_.reset();
     compute_units_ = 0;
     power_.reset();
     console_.clear();

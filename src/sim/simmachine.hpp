@@ -23,6 +23,7 @@
 #include <string>
 
 #include "arch/archspec.hpp"
+#include "sim/eventloop.hpp"
 #include "sim/filesystem.hpp"
 #include "sim/heapalloc.hpp"
 #include "sim/pagedmemory.hpp"
@@ -80,7 +81,18 @@ class SimMachine
     }
 
     // --- Clock and power -----------------------------------------------
-    double nowNs() const { return now_ns_; }
+    double nowNs() const { return clock_.nowNs(); }
+
+    /**
+     * The machine's clock (extracted from the old private `now_ns_`).
+     * Attach it to a shared EventLoop to make the machine a resource
+     * on a unified timeline: every advance then pushes the loop's
+     * now() horizon. Unattached machines behave exactly as before.
+     */
+    VirtualClock &clock() { return clock_; }
+
+    /** Charge this machine's time against @p loop's timeline. */
+    void bindClock(EventLoop &loop) { clock_.attach(&loop); }
 
     /**
      * Override the ns-per-cost-unit conversion (used by the "ideal
@@ -167,7 +179,7 @@ class SimMachine
     arch::ArchSpec spec_;
     PagedMemory mem_;
     HeapAllocator native_heap_;
-    double now_ns_ = 0;
+    VirtualClock clock_;
     uint64_t compute_units_ = 0;
     PowerState compute_state_ = PowerState::Compute;
     PowerModel power_;

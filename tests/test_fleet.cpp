@@ -1,0 +1,557 @@
+/**
+ * @file
+ * Fleet-layer tests: the discrete-event scheduler (EventLoop, strands,
+ * virtual clocks), the contended SharedMedium, admission control, and
+ * the headline guarantee of the layering — a single-client fleet run
+ * is indistinguishable, field by field, from the legacy solo
+ * OffloadSystem::run().
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "compiler/driver.hpp"
+#include "frontend/codegen.hpp"
+#include "net/medium.hpp"
+#include "runtime/offload.hpp"
+#include "runtime/server.hpp"
+#include "sim/eventloop.hpp"
+
+using namespace nol;
+using namespace nol::runtime;
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+TEST(EventLoop, EventsFireInTimeOrderInsertionBreaksTies)
+{
+    sim::EventLoop loop;
+    std::vector<std::string> trace;
+    loop.schedule(30, [&] { trace.push_back("t30"); });
+    loop.schedule(10, [&] { trace.push_back("t10"); });
+    loop.schedule(20, [&] { trace.push_back("t20a"); });
+    loop.schedule(20, [&] { trace.push_back("t20b"); });
+    loop.run();
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0], "t10");
+    EXPECT_EQ(trace[1], "t20a");
+    EXPECT_EQ(trace[2], "t20b");
+    EXPECT_EQ(trace[3], "t30");
+    EXPECT_DOUBLE_EQ(loop.now(), 30.0);
+}
+
+TEST(EventLoop, CancelledEventNeverFires)
+{
+    sim::EventLoop loop;
+    int fired = 0;
+    uint64_t id = loop.schedule(10, [&] { ++fired; });
+    loop.schedule(5, [&loop, id] { loop.cancel(id); });
+    loop.cancel(999999); // unknown ids are ignored
+    loop.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoop, EventsMayScheduleEvents)
+{
+    sim::EventLoop loop;
+    std::vector<double> fired_at;
+    loop.schedule(10, [&] {
+        fired_at.push_back(loop.now());
+        loop.schedule(25, [&] { fired_at.push_back(loop.now()); });
+    });
+    loop.run();
+    ASSERT_EQ(fired_at.size(), 2u);
+    EXPECT_DOUBLE_EQ(fired_at[0], 10.0);
+    EXPECT_DOUBLE_EQ(fired_at[1], 25.0);
+}
+
+TEST(EventLoop, HorizonTracksAttachedClocks)
+{
+    sim::EventLoop loop;
+    sim::VirtualClock clock;
+    clock.attach(&loop);
+    clock.advance(123.5);
+    EXPECT_DOUBLE_EQ(clock.nowNs(), 123.5);
+    EXPECT_DOUBLE_EQ(loop.now(), 123.5);
+    // The horizon never regresses.
+    clock.reset();
+    clock.advance(50);
+    EXPECT_DOUBLE_EQ(loop.now(), 123.5);
+    loop.run();
+}
+
+TEST(EventLoop, StrandsInterleaveInVirtualTimeOrder)
+{
+    sim::EventLoop loop;
+    std::vector<std::string> trace;
+
+    // Each strand records, sleeps (event-wake) on the virtual
+    // timeline, records again. The controller must interleave them by
+    // virtual time, not by spawn order.
+    sim::Strand *a = nullptr;
+    sim::Strand *b = nullptr;
+    a = loop.spawn("a", 0, [&] {
+        trace.push_back("a@0");
+        loop.schedule(40, [&] { loop.wake(*a, 40); });
+        loop.block(*a);
+        trace.push_back("a@40");
+    });
+    b = loop.spawn("b", 10, [&] {
+        trace.push_back("b@10");
+        loop.schedule(20, [&] { loop.wake(*b, 20); });
+        double woke = loop.block(*b);
+        EXPECT_DOUBLE_EQ(woke, 20.0);
+        trace.push_back("b@20");
+    });
+    loop.run();
+
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0], "a@0");
+    EXPECT_EQ(trace[1], "b@10");
+    EXPECT_EQ(trace[2], "b@20");
+    EXPECT_EQ(trace[3], "a@40");
+    EXPECT_TRUE(a->done());
+    EXPECT_TRUE(b->done());
+}
+
+// ---------------------------------------------------------------------------
+// SharedMedium
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kRate = 1e8;    ///< 100 Mbps
+constexpr double kLatency = 1.5e6; ///< 1.5 ms in ns
+constexpr uint64_t kBytes = 125000; ///< 1e6 bits → 10 ms solo serialization
+
+} // namespace
+
+TEST(SharedMedium, UncontendedFlowReturnsClosedFormVerbatim)
+{
+    sim::EventLoop loop;
+    net::SharedMedium medium(loop);
+    double result = 0;
+    sim::Strand *s = nullptr;
+    // An arbitrary closed form must come back bit-identical: solo
+    // sessions keep their SimNetwork's exact arithmetic.
+    const double closed = 424242.4242;
+    s = loop.spawn("solo", 0, [&] {
+        result = medium.transfer(*s, 0, kBytes, kRate, kLatency, closed);
+    });
+    loop.run();
+    EXPECT_EQ(result, closed);
+    EXPECT_EQ(medium.stats().flows, 1u);
+    EXPECT_EQ(medium.stats().contendedFlows, 0u);
+    EXPECT_EQ(medium.stats().peakConcurrentFlows, 1u);
+    EXPECT_DOUBLE_EQ(medium.stats().busySeconds, 0.01);
+}
+
+TEST(SharedMedium, TwoOverlappingFlowsShareFairly)
+{
+    sim::EventLoop loop;
+    net::SharedMedium medium(loop);
+    double d1 = 0, d2 = 0;
+    sim::Strand *s1 = nullptr, *s2 = nullptr;
+    s1 = loop.spawn("c1", 0, [&] {
+        d1 = medium.transfer(*s1, 0, kBytes, kRate, kLatency, 1e7 + kLatency);
+    });
+    s2 = loop.spawn("c2", 0, [&] {
+        d2 = medium.transfer(*s2, 0, kBytes, kRate, kLatency, 1e7 + kLatency);
+    });
+    loop.run();
+    // Each of the two equal flows progresses at rate/2: serialization
+    // doubles (10 ms → 20 ms); the latency tail is unchanged.
+    EXPECT_DOUBLE_EQ(d1, 2e7 + kLatency);
+    EXPECT_DOUBLE_EQ(d2, 2e7 + kLatency);
+    EXPECT_EQ(medium.stats().contendedFlows, 2u);
+    EXPECT_EQ(medium.stats().peakConcurrentFlows, 2u);
+    EXPECT_DOUBLE_EQ(medium.stats().busySeconds, 0.02);
+}
+
+TEST(SharedMedium, StaggeredFlowsPayOnlyForTheOverlap)
+{
+    sim::EventLoop loop;
+    net::SharedMedium medium(loop);
+    double d1 = 0, d2 = 0;
+    sim::Strand *s1 = nullptr, *s2 = nullptr;
+    s1 = loop.spawn("c1", 0, [&] {
+        d1 = medium.transfer(*s1, 0, kBytes, kRate, kLatency, 1e7 + kLatency);
+    });
+    // The second flow arrives halfway through the first.
+    s2 = loop.spawn("c2", 5e6, [&] {
+        d2 = medium.transfer(*s2, 5e6, kBytes, kRate, kLatency,
+                             1e7 + kLatency);
+    });
+    loop.run();
+    // Flow 1: 5 ms alone (half its bits) + 10 ms shared → done at 15 ms.
+    // Flow 2: 10 ms shared (half its bits) + 5 ms alone → done at 20 ms.
+    EXPECT_DOUBLE_EQ(d1, 1.5e7 + kLatency);
+    EXPECT_DOUBLE_EQ(d2, 1.5e7 + kLatency);
+    EXPECT_DOUBLE_EQ(medium.stats().busySeconds, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Solo ≡ single-client fleet
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Compute-heavy with heap write-back. */
+const char *kComputeSrc = R"(
+double* data;
+int N;
+
+double crunch(int rounds) {
+    double acc = 0.0;
+    for (int r = 0; r < rounds; r++) {
+        for (int i = 0; i < N; i++) {
+            data[i] = data[i] * 1.0001 + (double)((i * r) % 17) * 0.01;
+            acc += data[i];
+        }
+    }
+    return acc;
+}
+
+int main() {
+    scanf("%d", &N);
+    data = (double*)malloc(sizeof(double) * N);
+    for (int i = 0; i < N; i++) data[i] = (double)i * 0.5;
+    double total = 0.0;
+    for (int turn = 0; turn < 3; turn++) {
+        total += crunch(40);
+        data[turn] = total;
+    }
+    printf("total=%.3f first=%.3f\n", total, data[0]);
+    return ((int)total) % 97;
+}
+)";
+
+/** Remote I/O inside the offloaded target (console + file reads). */
+const char *kRemoteIoSrc = R"(
+int grind(int rounds) {
+    void* f = fopen("notes.txt", "r");
+    int sum = 0;
+    int c = fgetc(f);
+    while (c != -1) {
+        sum = sum + c;
+        c = fgetc(f);
+    }
+    fclose(f);
+    for (int r = 0; r < rounds; r++) {
+        for (int i = 0; i < 6000; i++) {
+            sum = (sum * 31 + i) % 100003;
+        }
+    }
+    printf("sum=%d\n", sum);
+    return sum;
+}
+
+int main() {
+    int rounds;
+    scanf("%d", &rounds);
+    int out = grind(rounds);
+    printf("out=%d\n", out);
+    return out % 31;
+}
+)";
+
+/** Integer kernel over a global array (dirty-page write-back). */
+const char *kGlobalsSrc = R"(
+int table[4096];
+
+int churn(int rounds) {
+    int acc = 0;
+    for (int r = 0; r < rounds; r++) {
+        for (int i = 0; i < 4096; i++) {
+            table[i] = table[i] * 3 + r + i;
+            acc = acc + table[i] % 7;
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int rounds;
+    scanf("%d", &rounds);
+    int acc = churn(rounds);
+    printf("acc=%d t0=%d t9=%d\n", acc, table[0], table[9]);
+    return acc % 113;
+}
+)";
+
+struct EquivCase {
+    const char *name;
+    const char *source;
+    const char *profileStdin;
+    const char *evalStdin;
+    std::map<std::string, std::string> files;
+};
+
+std::vector<EquivCase>
+equivCases()
+{
+    std::string notes;
+    for (int i = 0; i < 600; ++i)
+        notes += static_cast<char>('a' + i % 23);
+    return {
+        {"compute", kComputeSrc, "1500", "3000", {}},
+        {"remote-io", kRemoteIoSrc, "25", "60", {{"notes.txt", notes}}},
+        {"globals", kGlobalsSrc, "30", "80", {}},
+    };
+}
+
+compiler::CompiledProgram
+compileCase(const EquivCase &c)
+{
+    auto mod = frontend::compileSource(c.source, c.name);
+    compiler::CompileOptions options;
+    options.profilingInput.stdinText = c.profileStdin;
+    options.profilingInput.files = c.files;
+    return compiler::compileForOffload(std::move(mod), options);
+}
+
+RunInput
+caseInput(const EquivCase &c)
+{
+    RunInput input;
+    input.stdinText = c.evalStdin;
+    input.files = c.files;
+    return input;
+}
+
+void
+expectReportsIdentical(const RunReport &solo, const RunReport &fleet)
+{
+    EXPECT_EQ(solo.exitValue, fleet.exitValue);
+    EXPECT_EQ(solo.console, fleet.console);
+    EXPECT_DOUBLE_EQ(solo.mobileSeconds, fleet.mobileSeconds);
+    EXPECT_DOUBLE_EQ(solo.energyMillijoules, fleet.energyMillijoules);
+
+    EXPECT_DOUBLE_EQ(solo.breakdown.mobileCompute,
+                     fleet.breakdown.mobileCompute);
+    EXPECT_DOUBLE_EQ(solo.breakdown.serverCompute,
+                     fleet.breakdown.serverCompute);
+    EXPECT_DOUBLE_EQ(solo.breakdown.fnPtrTranslation,
+                     fleet.breakdown.fnPtrTranslation);
+    EXPECT_DOUBLE_EQ(solo.breakdown.remoteIo, fleet.breakdown.remoteIo);
+    EXPECT_DOUBLE_EQ(solo.breakdown.communication,
+                     fleet.breakdown.communication);
+
+    EXPECT_EQ(solo.wireBytes, fleet.wireBytes);
+    EXPECT_EQ(solo.rawBytes, fleet.rawBytes);
+    EXPECT_EQ(solo.bytesByCategory, fleet.bytesByCategory);
+    EXPECT_EQ(solo.offloads, fleet.offloads);
+    EXPECT_EQ(solo.localRuns, fleet.localRuns);
+    EXPECT_EQ(solo.demandFaults, fleet.demandFaults);
+    EXPECT_EQ(solo.retries, fleet.retries);
+    EXPECT_EQ(solo.failovers, fleet.failovers);
+    EXPECT_EQ(fleet.admissionWaits, 0u);
+    EXPECT_EQ(fleet.admissionDenials, 0u);
+
+    ASSERT_EQ(solo.events.size(), fleet.events.size());
+    for (size_t i = 0; i < solo.events.size(); ++i) {
+        const OffloadEvent &a = solo.events[i];
+        const OffloadEvent &b = fleet.events[i];
+        EXPECT_EQ(a.target, b.target);
+        EXPECT_EQ(a.offloaded, b.offloaded);
+        EXPECT_EQ(a.failedOver, b.failedOver);
+        EXPECT_EQ(a.suppressed, b.suppressed);
+        EXPECT_EQ(a.overflow, b.overflow);
+        EXPECT_DOUBLE_EQ(a.trafficBytes, b.trafficBytes);
+        EXPECT_DOUBLE_EQ(a.rawTrafficBytes, b.rawTrafficBytes);
+        EXPECT_DOUBLE_EQ(a.serverSeconds, b.serverSeconds);
+    }
+    EXPECT_EQ(solo.powerTimeline.size(), fleet.powerTimeline.size());
+}
+
+RunReport
+fleetSingle(const compiler::CompiledProgram &prog, const SystemConfig &cfg,
+            const RunInput &input)
+{
+    ServerRuntime server(prog);
+    FleetClient client;
+    client.name = "c0";
+    client.config = cfg;
+    client.input = input;
+    FleetReport fleet = server.run({client});
+    return fleet.clients.at(0).report;
+}
+
+} // namespace
+
+TEST(FleetEquivalence, SingleClientMatchesSoloOnBothNetworks)
+{
+    for (const EquivCase &c : equivCases()) {
+        compiler::CompiledProgram prog = compileCase(c);
+        for (bool slow : {false, true}) {
+            SCOPED_TRACE(std::string(c.name) +
+                         (slow ? " @802.11n" : " @802.11ac"));
+            SystemConfig cfg;
+            cfg.network =
+                slow ? net::makeWifi80211n() : net::makeWifi80211ac();
+
+            OffloadSystem solo(prog, cfg);
+            RunReport solo_report = solo.run(caseInput(c));
+            RunReport fleet_report = fleetSingle(prog, cfg, caseInput(c));
+            expectReportsIdentical(solo_report, fleet_report);
+        }
+    }
+}
+
+TEST(FleetEquivalence, SingleClientMatchesSoloUnderFaults)
+{
+    EquivCase c = equivCases()[0];
+    compiler::CompiledProgram prog = compileCase(c);
+    SystemConfig cfg;
+    cfg.network = net::makeWifi80211n();
+    cfg.faultPlan.enabled = true;
+    cfg.faultPlan.seed = 77;
+    cfg.faultPlan.dropRate = 0.10;
+    cfg.faultPlan.latencySpikeRate = 0.05;
+
+    OffloadSystem solo(prog, cfg);
+    RunReport solo_report = solo.run(caseInput(c));
+    RunReport fleet_report = fleetSingle(prog, cfg, caseInput(c));
+    expectReportsIdentical(solo_report, fleet_report);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-client fleets
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<FleetClient>
+makeClients(size_t n, const SystemConfig &cfg, const RunInput &input)
+{
+    std::vector<FleetClient> clients;
+    for (size_t i = 0; i < n; ++i) {
+        FleetClient client;
+        client.name = "client-" + std::to_string(i);
+        client.config = cfg;
+        client.input = input;
+        // Slightly staggered arrivals: realistic and avoids pretending
+        // perfectly synchronized devices.
+        client.startSeconds = static_cast<double>(i) * 0.0005;
+        clients.push_back(client);
+    }
+    return clients;
+}
+
+} // namespace
+
+TEST(FleetRun, EightClientsStayCorrectUnderContention)
+{
+    EquivCase c = equivCases()[0];
+    compiler::CompiledProgram prog = compileCase(c);
+    SystemConfig cfg;
+    cfg.network = net::makeWifi80211n();
+
+    OffloadSystem solo(prog, cfg);
+    RunReport solo_report = solo.run(caseInput(c));
+
+    ServerRuntime server(prog);
+    FleetReport fleet = server.run(makeClients(8, cfg, caseInput(c)));
+
+    ASSERT_EQ(fleet.clients.size(), 8u);
+    for (const FleetClientResult &result : fleet.clients) {
+        // Contention changes timing, never results.
+        EXPECT_EQ(result.report.console, solo_report.console);
+        EXPECT_EQ(result.report.exitValue, solo_report.exitValue);
+        EXPECT_GE(result.latencySeconds, 0.0);
+        EXPECT_LE(result.finishSeconds, fleet.makespanSeconds);
+    }
+    // Everyone transferred concurrently at least once.
+    EXPECT_GE(fleet.peakConcurrentFlows, 2u);
+    EXPECT_GT(fleet.totalOffloads, 0u);
+    EXPECT_GT(fleet.mediumBusySeconds, 0.0);
+    // A shared channel can only be slower than a private one.
+    EXPECT_GE(fleet.latencyP95Seconds, solo_report.mobileSeconds);
+    EXPECT_GE(fleet.latencyP95Seconds, fleet.latencyP50Seconds);
+}
+
+TEST(FleetRun, RepeatRunsAreBitIdentical)
+{
+    EquivCase c = equivCases()[2];
+    compiler::CompiledProgram prog = compileCase(c);
+    SystemConfig cfg;
+    cfg.network = net::makeWifi80211ac();
+
+    ServerRuntime server_a(prog);
+    ServerRuntime server_b(prog);
+    FleetReport a = server_a.run(makeClients(6, cfg, caseInput(c)));
+    FleetReport b = server_b.run(makeClients(6, cfg, caseInput(c)));
+
+    EXPECT_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.totalOffloads, b.totalOffloads);
+    EXPECT_EQ(a.admissionWaits, b.admissionWaits);
+    ASSERT_EQ(a.clients.size(), b.clients.size());
+    for (size_t i = 0; i < a.clients.size(); ++i) {
+        EXPECT_EQ(a.clients[i].report.mobileSeconds,
+                  b.clients[i].report.mobileSeconds);
+        EXPECT_EQ(a.clients[i].report.wireBytes,
+                  b.clients[i].report.wireBytes);
+    }
+}
+
+TEST(FleetAdmission, SingleSlotQueuesFifoWithoutDeadlock)
+{
+    EquivCase c = equivCases()[2];
+    compiler::CompiledProgram prog = compileCase(c);
+    SystemConfig cfg;
+    cfg.network = net::makeWifi80211ac();
+
+    OffloadSystem solo(prog, cfg);
+    RunReport solo_report = solo.run(caseInput(c));
+
+    AdmissionPolicy policy;
+    policy.maxConcurrentSessions = 1;
+    // Virtual minutes per offload on these slow simulated cores, so the
+    // timeout must be effectively infinite for "nobody is denied".
+    policy.maxQueueWaitSeconds = 1e6;
+    ServerRuntime server(prog, policy);
+    FleetReport fleet = server.run(makeClients(4, cfg, caseInput(c)));
+
+    EXPECT_GE(fleet.admissionWaits, 1u);
+    EXPECT_EQ(fleet.admissionDenials, 0u);
+    EXPECT_GT(fleet.admissionWaitSeconds, 0.0);
+    EXPECT_EQ(fleet.peakConcurrentSessions, 1u);
+    for (const FleetClientResult &result : fleet.clients) {
+        EXPECT_EQ(result.report.console, solo_report.console);
+        EXPECT_EQ(result.report.exitValue, solo_report.exitValue);
+    }
+}
+
+TEST(FleetAdmission, QueueTimeoutOverflowsToLocalExecution)
+{
+    EquivCase c = equivCases()[2];
+    compiler::CompiledProgram prog = compileCase(c);
+    SystemConfig cfg;
+    cfg.network = net::makeWifi80211ac();
+
+    OffloadSystem solo(prog, cfg);
+    RunReport solo_report = solo.run(caseInput(c));
+
+    AdmissionPolicy policy;
+    policy.maxConcurrentSessions = 1;
+    policy.maxQueueWaitSeconds = 1e-6; // effectively: never wait
+    ServerRuntime server(prog, policy);
+    FleetReport fleet = server.run(makeClients(4, cfg, caseInput(c)));
+
+    EXPECT_GE(fleet.admissionDenials, 1u);
+    uint64_t overflow_events = 0;
+    for (const FleetClientResult &result : fleet.clients) {
+        for (const OffloadEvent &event : result.report.events) {
+            if (event.overflow) {
+                ++overflow_events;
+                EXPECT_FALSE(event.offloaded);
+            }
+        }
+        // Overflow degrades to local execution; results are intact.
+        EXPECT_EQ(result.report.console, solo_report.console);
+        EXPECT_EQ(result.report.exitValue, solo_report.exitValue);
+    }
+    EXPECT_GE(overflow_events, fleet.admissionDenials);
+}

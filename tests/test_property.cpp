@@ -273,8 +273,9 @@ TEST_P(CompressorProperty, PageContentRoundTrips)
     auto packed = compress::lzCompress(data);
     EXPECT_EQ(compress::lzDecompress(packed), data);
     // Sparse pages compress well.
-    if (touches < 100)
+    if (touches < 100) {
         EXPECT_LT(packed.size(), data.size() / 2);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompressorProperty,
@@ -348,8 +349,9 @@ TEST_P(FaultRetryProperty, DropsOnlyAddBytesNeverChangeBehavior)
         // Same offload schedule as the clean run, plus retried bytes:
         // wire traffic is monotone in the fault rate.
         EXPECT_GE(faulty.wireBytes, fix.clean.wireBytes);
-        if (faulty.retries > 0)
+        if (faulty.retries > 0) {
             EXPECT_GT(faulty.wireBytes, fix.clean.wireBytes);
+        }
         // Faults cost time, never save it.
         EXPECT_GE(faulty.mobileSeconds, fix.clean.mobileSeconds * 0.999);
     }

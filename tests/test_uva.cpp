@@ -1,0 +1,163 @@
+/**
+ * @file
+ * UvaManager address-space tests: the named region registry (overlap
+ * rejection, unmapped lookups, translation) and sub-heap exhaustion —
+ * the address-management edge cases the offload runtime leans on.
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/uva.hpp"
+
+using namespace nol;
+using namespace nol::runtime;
+
+TEST(UvaRegions, CanonicalLayout)
+{
+    UvaManager uva;
+    ASSERT_EQ(uva.regions().size(), 3u);
+
+    const UvaRegion *globals = uva.regionOf(kUvaGlobalsBase);
+    ASSERT_NE(globals, nullptr);
+    EXPECT_EQ(globals->name, "uva-globals");
+
+    const UvaRegion *mob = uva.regionOf(sim::kUvaHeapBase);
+    ASSERT_NE(mob, nullptr);
+    EXPECT_EQ(mob->name, "uva-heap-mobile");
+
+    const UvaRegion *srv = uva.regionOf(kUvaServerSubBase);
+    ASSERT_NE(srv, nullptr);
+    EXPECT_EQ(srv->name, "uva-heap-server");
+
+    // Contiguous: the last byte of one region abuts the next.
+    EXPECT_EQ(globals->base + globals->size, mob->base);
+    EXPECT_EQ(mob->base + mob->size, srv->base);
+}
+
+TEST(UvaRegions, BoundaryAddresses)
+{
+    UvaManager uva;
+    // One below the globals base is unmapped; the base itself maps.
+    EXPECT_EQ(uva.regionOf(kUvaGlobalsBase - 1), nullptr);
+    EXPECT_NE(uva.regionOf(kUvaGlobalsBase), nullptr);
+
+    // The heap split point belongs to the server sub-heap, its
+    // predecessor to the mobile sub-heap.
+    EXPECT_EQ(uva.regionOf(kUvaServerSubBase - 1)->name, "uva-heap-mobile");
+    EXPECT_EQ(uva.regionOf(kUvaServerSubBase)->name, "uva-heap-server");
+
+    // End of the heap is exclusive.
+    uint64_t end = sim::kUvaHeapBase + sim::kUvaHeapSize;
+    EXPECT_EQ(uva.regionOf(end - 1)->name, "uva-heap-server");
+    EXPECT_EQ(uva.regionOf(end), nullptr);
+}
+
+TEST(UvaRegions, RegionUnionMatchesLegacyPredicate)
+{
+    UvaManager uva;
+    // The named regions must cover exactly the addresses the legacy
+    // static predicate accepted — prefetch page selection depends on
+    // the two agreeing bit for bit.
+    std::vector<uint64_t> probes = {
+        0,
+        kUvaGlobalsBase - 1,
+        kUvaGlobalsBase,
+        kUvaGlobalsBase + 0x1234,
+        sim::kUvaHeapBase - 1,
+        sim::kUvaHeapBase,
+        kUvaServerSubBase,
+        sim::kUvaHeapBase + sim::kUvaHeapSize - 1,
+        sim::kUvaHeapBase + sim::kUvaHeapSize,
+        0xffff'ffff'ffff'0000ull,
+    };
+    for (uint64_t addr : probes) {
+        EXPECT_EQ(uva.regionOf(addr) != nullptr,
+                  UvaManager::isUvaAddress(addr))
+            << "disagreement at 0x" << std::hex << addr;
+    }
+}
+
+TEST(UvaRegions, OverlapRejected)
+{
+    UvaManager uva;
+    // Fully inside an existing region.
+    EXPECT_FALSE(uva.addRegion("inside", sim::kUvaHeapBase + 0x1000, 0x100));
+    // Straddling a region boundary from below.
+    EXPECT_FALSE(uva.addRegion("straddle", kUvaGlobalsBase - 0x100, 0x200));
+    // Enclosing an existing region entirely.
+    EXPECT_FALSE(uva.addRegion("enclose", kUvaGlobalsBase - 0x1000,
+                               sim::kUvaHeapSize * 2));
+    // Identical range.
+    EXPECT_FALSE(uva.addRegion("dup", kUvaGlobalsBase,
+                               sim::kUvaHeapBase - kUvaGlobalsBase));
+    EXPECT_EQ(uva.regions().size(), 3u);
+
+    // Disjoint ranges are accepted, adjacency included.
+    uint64_t end = sim::kUvaHeapBase + sim::kUvaHeapSize;
+    EXPECT_TRUE(uva.addRegion("after-heap", end, 0x1000));
+    EXPECT_EQ(uva.regionOf(end)->name, "after-heap");
+}
+
+TEST(UvaRegions, DegenerateRangesRejected)
+{
+    UvaManager uva;
+    EXPECT_FALSE(uva.addRegion("empty", 0x1000, 0));
+    // Address wrap-around.
+    EXPECT_FALSE(uva.addRegion("wrap", ~0ull - 0x10, 0x100));
+}
+
+TEST(UvaRegions, TranslateUnmappedLeavesOutputsUntouched)
+{
+    UvaManager uva;
+    const UvaRegion *region = reinterpret_cast<const UvaRegion *>(0x1);
+    uint64_t offset = 0xdeadbeef;
+    EXPECT_FALSE(uva.translate(0x100, &region, &offset));
+    EXPECT_EQ(region, reinterpret_cast<const UvaRegion *>(0x1));
+    EXPECT_EQ(offset, 0xdeadbeefull);
+
+    EXPECT_TRUE(uva.translate(sim::kUvaHeapBase + 0x40, &region, &offset));
+    EXPECT_EQ(region->name, "uva-heap-mobile");
+    EXPECT_EQ(offset, 0x40u);
+
+    // Null outputs are allowed (existence probe).
+    EXPECT_TRUE(uva.translate(kUvaGlobalsBase, nullptr, nullptr));
+}
+
+TEST(UvaHeaps, DisjointSubHeaps)
+{
+    UvaManager uva;
+    uint64_t m = uva.mobileHeap().allocate(64);
+    uint64_t s = uva.serverHeap().allocate(64);
+    ASSERT_NE(m, 0u);
+    ASSERT_NE(s, 0u);
+    EXPECT_LT(m, kUvaServerSubBase);
+    EXPECT_GE(s, kUvaServerSubBase);
+    EXPECT_EQ(uva.regionOf(m)->name, "uva-heap-mobile");
+    EXPECT_EQ(uva.regionOf(s)->name, "uva-heap-server");
+}
+
+TEST(UvaHeaps, MobileExhaustionReturnsZero)
+{
+    UvaManager uva;
+    // The allocator manages addresses only, so walking the whole
+    // sub-heap in large chunks is cheap.
+    constexpr uint64_t kChunk = 0x1000'0000ull; // 256 MiB
+    uint64_t total = kUvaServerSubBase - sim::kUvaHeapBase;
+    uint64_t expected = total / kChunk;
+    uint64_t got = 0;
+    uint64_t last = 0;
+    while (true) {
+        uint64_t addr = uva.mobileHeap().allocate(kChunk);
+        if (addr == 0)
+            break;
+        last = addr;
+        ++got;
+        ASSERT_LE(got, expected) << "allocated past the sub-heap";
+    }
+    EXPECT_EQ(got, expected);
+    EXPECT_LT(last + kChunk, kUvaServerSubBase + 1);
+    // Smaller requests may still fit the tail; a full-chunk one never.
+    EXPECT_EQ(uva.mobileHeap().allocate(kChunk), 0u);
+    // Releasing makes the space reusable (free-list path).
+    uva.mobileHeap().release(last);
+    EXPECT_EQ(uva.mobileHeap().allocate(kChunk), last);
+}

@@ -168,8 +168,9 @@ TEST(ChessExample, SelectsGetAITurnLikeFig3)
     // getPlayerTurn is interactive — never offloadable (Sec. 3.1).
     const auto *player =
         prog.compiled().selection.byName("getPlayerTurn");
-    if (player != nullptr)
+    if (player != nullptr) {
         EXPECT_TRUE(player->machineSpecific);
+    }
 }
 
 TEST(ChessExample, DifficultyScalesComputation)
