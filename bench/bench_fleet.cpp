@@ -6,6 +6,12 @@
  * queue and reports fleet throughput (offloads per second of virtual
  * time) and per-client latency percentiles on both WiFi environments.
  *
+ * Every cell runs twice — page cache off, then on — and the table adds
+ * the bytes the fleet pushed over the medium for prefetch in each mode
+ * plus the off/on ratio. Identical binaries dirty identical read-only
+ * pages, so the content-addressed cache should collapse the prefetch
+ * traffic roughly with N once two or more clients share a wave.
+ *
  * Expected shape: throughput rises with N until the channel or the
  * admission policy saturates, while client latency degrades smoothly —
  * fair-share airtime and FIFO admission, so nobody starves and nothing
@@ -25,17 +31,19 @@ namespace {
 struct Cell {
     const char *network = nullptr;
     size_t clients = 0;
-    runtime::FleetReport fleet;
+    runtime::FleetReport off; ///< page cache disabled
+    runtime::FleetReport on;  ///< page cache enabled
 };
 
 runtime::FleetReport
 runFleetCell(const core::Program &prog,
              const workloads::WorkloadSpec &spec,
-             const net::NetworkSpec &network, size_t n)
+             const net::NetworkSpec &network, size_t n, bool cache_on)
 {
     runtime::SystemConfig cfg;
     cfg.network = network;
     cfg.memScale = spec.memScale;
+    cfg.pageCacheEnabled = cache_on;
 
     std::vector<runtime::FleetClient> clients;
     for (size_t i = 0; i < n; ++i) {
@@ -56,6 +64,26 @@ runFleetCell(const core::Program &prog,
     runtime::AdmissionPolicy policy;
     policy.maxQueueWaitSeconds = 1e9;
     return prog.runFleet(clients, policy);
+}
+
+uint64_t
+prefetchBytes(const runtime::FleetReport &fleet)
+{
+    uint64_t total = 0;
+    for (const runtime::FleetClientResult &result : fleet.clients) {
+        auto it = result.report.bytesByCategory.find("prefetch");
+        if (it != result.report.bytesByCategory.end())
+            total += it->second;
+    }
+    return total;
+}
+
+std::string
+ratioOf(uint64_t off, uint64_t on)
+{
+    if (on == 0)
+        return off == 0 ? "-" : "inf";
+    return fixed(static_cast<double>(off) / static_cast<double>(on), 2) + "x";
 }
 
 } // namespace
@@ -84,14 +112,18 @@ main()
         std::printf("workload %s on %s\n", workload_id.c_str(), link.name);
         TextTable table;
         table.header({"Clients", "Offloads/s", "p50 latency", "p95 latency",
-                      "makespan", "waits", "denied", "peak flows"});
+                      "makespan", "waits", "denied", "pf bytes off",
+                      "pf bytes on", "saved", "hits"});
         for (size_t n : counts) {
             std::fprintf(stderr, "  [fleet] %s N=%zu ...\n", link.name, n);
             Cell cell;
             cell.network = link.name;
             cell.clients = n;
-            cell.fleet = runFleetCell(prog, *spec, link.spec, n);
-            const runtime::FleetReport &f = cell.fleet;
+            cell.off = runFleetCell(prog, *spec, link.spec, n, false);
+            cell.on = runFleetCell(prog, *spec, link.spec, n, true);
+            const runtime::FleetReport &f = cell.off;
+            uint64_t pf_off = prefetchBytes(cell.off);
+            uint64_t pf_on = prefetchBytes(cell.on);
             table.row({std::to_string(n),
                        fixed(f.offloadsPerSecond, 2),
                        fixed(f.latencyP50Seconds, 3) + "s",
@@ -99,19 +131,27 @@ main()
                        fixed(f.makespanSeconds, 3) + "s",
                        std::to_string(f.admissionWaits),
                        std::to_string(f.admissionDenials),
-                       std::to_string(f.peakConcurrentFlows)});
+                       std::to_string(pf_off),
+                       std::to_string(pf_on),
+                       ratioOf(pf_off, pf_on),
+                       std::to_string(cell.on.cache.hitPages +
+                                      cell.on.cache.coalescedPages)});
             cells.push_back(std::move(cell));
         }
         std::printf("%s\n", table.render().c_str());
     }
 
-    // Machine-readable results for plotting / regression tracking.
+    // Machine-readable results for plotting / regression tracking. The
+    // headline scalability numbers come from the cache-off run (the
+    // PR 2 baseline); the cache_* keys quantify what the page cache
+    // takes off the medium in the same cell.
     FILE *json = std::fopen("BENCH_fleet.json", "w");
     NOL_ASSERT(json != nullptr, "cannot write BENCH_fleet.json");
     std::fprintf(json, "{\n  \"workload\": \"%s\",\n  \"cells\": [\n",
                  workload_id.c_str());
     for (size_t i = 0; i < cells.size(); ++i) {
-        const runtime::FleetReport &f = cells[i].fleet;
+        const runtime::FleetReport &f = cells[i].off;
+        const runtime::FleetReport &g = cells[i].on;
         std::fprintf(
             json,
             "    {\"network\": \"%s\", \"clients\": %zu, "
@@ -121,7 +161,12 @@ main()
             "\"admission_waits\": %llu, \"admission_denials\": %llu, "
             "\"admission_wait_s\": %.6f, \"medium_busy_s\": %.6f, "
             "\"peak_concurrent_flows\": %u, "
-            "\"peak_concurrent_sessions\": %u}%s\n",
+            "\"peak_concurrent_sessions\": %u, "
+            "\"prefetch_bytes_off\": %llu, \"prefetch_bytes_on\": %llu, "
+            "\"medium_bytes_off\": %llu, \"medium_bytes_on\": %llu, "
+            "\"cache_hit_pages\": %llu, \"cache_coalesced_pages\": %llu, "
+            "\"cache_miss_pages\": %llu, \"cache_waves\": %llu, "
+            "\"makespan_on_s\": %.6f}%s\n",
             cells[i].network, cells[i].clients, f.offloadsPerSecond,
             f.latencyP50Seconds, f.latencyP95Seconds, f.makespanSeconds,
             static_cast<unsigned long long>(f.totalOffloads),
@@ -130,6 +175,15 @@ main()
             static_cast<unsigned long long>(f.admissionDenials),
             f.admissionWaitSeconds, f.mediumBusySeconds,
             f.peakConcurrentFlows, f.peakConcurrentSessions,
+            static_cast<unsigned long long>(prefetchBytes(cells[i].off)),
+            static_cast<unsigned long long>(prefetchBytes(cells[i].on)),
+            static_cast<unsigned long long>(f.mediumBytes),
+            static_cast<unsigned long long>(g.mediumBytes),
+            static_cast<unsigned long long>(g.cache.hitPages),
+            static_cast<unsigned long long>(g.cache.coalescedPages),
+            static_cast<unsigned long long>(g.cache.missPages),
+            static_cast<unsigned long long>(g.cache.prefetchWaves),
+            g.makespanSeconds,
             i + 1 < cells.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");

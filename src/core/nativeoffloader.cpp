@@ -53,9 +53,10 @@ Program::runIdeal(const runtime::RunInput &input) const
 
 runtime::FleetReport
 Program::runFleet(const std::vector<runtime::FleetClient> &clients,
-                  runtime::AdmissionPolicy policy) const
+                  runtime::AdmissionPolicy policy,
+                  runtime::PageCachePolicy cache) const
 {
-    runtime::ServerRuntime server(*compiled_, policy);
+    runtime::ServerRuntime server(*compiled_, policy, cache);
     return server.run(clients);
 }
 

@@ -74,7 +74,8 @@ class Program
      */
     runtime::FleetReport
     runFleet(const std::vector<runtime::FleetClient> &clients,
-             runtime::AdmissionPolicy policy = {}) const;
+             runtime::AdmissionPolicy policy = {},
+             runtime::PageCachePolicy cache = {}) const;
 
     /** The full compile pipeline output. */
     const compiler::CompiledProgram &compiled() const { return *compiled_; }

@@ -39,6 +39,8 @@ SharedMedium::beginFlow(Flow *flow)
     advanceProgress(now);
     active_.push_back(flow);
     ++stats_.flows;
+    stats_.bytesCarried +=
+        static_cast<uint64_t>(flow->remainingBits / 8.0 + 0.5);
     uint32_t n = static_cast<uint32_t>(active_.size());
     stats_.peakConcurrentFlows = std::max(stats_.peakConcurrentFlows, n);
     if (n >= 2) {

@@ -29,7 +29,8 @@ struct MediumStats {
     uint64_t flows = 0;          ///< transfers carried
     uint64_t contendedFlows = 0; ///< transfers that ever shared airtime
     uint32_t peakConcurrentFlows = 0;
-    double busySeconds = 0; ///< virtual time with ≥1 flow in the air
+    double busySeconds = 0;   ///< virtual time with ≥1 flow in the air
+    uint64_t bytesCarried = 0; ///< payload bytes serialized on the air
 };
 
 /** The channel itself. */

@@ -36,6 +36,7 @@ commCategoryName(CommCategory category)
       case CommCategory::Demand: return "copy-on-demand";
       case CommCategory::WriteBack: return "write-back";
       case CommCategory::RemoteIo: return "remote-io";
+      case CommCategory::Digest: return "digest";
     }
     return "?";
 }
@@ -234,6 +235,21 @@ CommManager::pushPagesToServer(const std::vector<uint64_t> &pages,
                                   mobile_.mem().pageData(page_num));
         mobile_.mem().clearDirty(page_num);
     }
+}
+
+void
+CommManager::sendDigestsToServer(uint64_t page_count)
+{
+    // 16-byte batch header, then per page: 8-byte page number plus the
+    // 16-byte content digest.
+    sendToServer(16 + page_count * 24, CommCategory::Digest);
+}
+
+void
+CommManager::sendHaveNeedToMobile(uint64_t page_count)
+{
+    // 16-byte header plus a have/need bitmap, one bit per offered page.
+    sendToMobile(16 + (page_count + 7) / 8, CommCategory::Digest);
 }
 
 void

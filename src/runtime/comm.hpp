@@ -33,6 +33,7 @@ enum class CommCategory {
     Demand,    ///< copy-on-demand page fetches
     WriteBack, ///< dirty pages at finalization
     RemoteIo,  ///< remote I/O requests and responses
+    Digest,    ///< page-cache handshake: digest lists + have/need maps
 };
 
 /** Printable category name. */
@@ -132,6 +133,20 @@ class CommManager
 
     /** Copy-on-demand: fetch one page (request + response round trip). */
     void fetchPageToServer(uint64_t page_num);
+
+    // --- Page-cache digest handshake (server-side page cache) ----------
+    //
+    // Before a cache-aware prefetch the mobile ships one digest per
+    // candidate page; the server answers with a have/need bitmap and
+    // only `need` pages ride the Prefetch category afterwards. Both
+    // legs are accounted under CommCategory::Digest, so the handshake
+    // overhead is visible next to the pages it saved.
+
+    /** Mobile→server digest list: page number + 128-bit digest each. */
+    void sendDigestsToServer(uint64_t page_count);
+
+    /** Server→mobile have/need reply: one bit per offered page. */
+    void sendHaveNeedToMobile(uint64_t page_count);
 
     /**
      * Finalization write-back: move every dirty server page to the

@@ -34,6 +34,13 @@ struct SystemConfig {
     bool dynamicDecision = true;     ///< runtime Eq. 1 re-evaluation
     bool forceLocal = false;         ///< baseline: never offload
     bool idealOffload = false;       ///< zero-overhead offloading
+    /**
+     * Fleet mode: prefetch through the server's content-addressed page
+     * cache (digest handshake, have/need, admission-wave batching).
+     * Strictly opt-in and inert outside a ≥2-client fleet, so solo and
+     * cache-off runs are bit-identical to the legacy paths.
+     */
+    bool pageCacheEnabled = false;
     uint64_t fnPtrTranslateCost = 60; ///< units per server indirect call
     uint64_t stepLimit = 4'000'000'000ull;
     /** Deterministic network fault schedule (disabled by default: the
@@ -100,6 +107,11 @@ struct RunReport {
     uint64_t admissionWaits = 0;   ///< offloads that queued for a slot
     uint64_t admissionDenials = 0; ///< queue waits that timed out
     double admissionWaitSeconds = 0;
+
+    // Page-cache accounting (always zero when the cache is off).
+    uint64_t digestHandshakes = 0;    ///< cache-aware prefetches
+    uint64_t prefetchPagesSent = 0;   ///< prefetch pages this client sent
+    uint64_t prefetchPagesCached = 0; ///< pages served without a transfer
 
     std::vector<OffloadEvent> events;
     std::vector<sim::PowerSegment> powerTimeline;

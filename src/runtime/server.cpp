@@ -8,12 +8,70 @@
 
 namespace nol::runtime {
 
+// ---------------------------------------------------------------------------
+// PageCache
+// ---------------------------------------------------------------------------
+
+const uint8_t *
+PageCache::lookup(const sim::PageDigest &digest)
+{
+    auto it = entries_.find(digest);
+    if (it == entries_.end())
+        return nullptr;
+    lru_.erase(it->second.tick);
+    it->second.tick = ++tick_;
+    lru_[it->second.tick] = digest;
+    return it->second.bytes.data();
+}
+
+void
+PageCache::insert(const sim::PageDigest &digest, const uint8_t *data)
+{
+    auto it = entries_.find(digest);
+    if (it != entries_.end()) {
+        // Content-addressed: same digest, same bytes. Refresh LRU only.
+        lru_.erase(it->second.tick);
+        it->second.tick = ++tick_;
+        lru_[it->second.tick] = digest;
+        return;
+    }
+    while (entries_.size() >= capacity_ && !lru_.empty()) {
+        auto oldest = lru_.begin();
+        entries_.erase(oldest->second);
+        lru_.erase(oldest);
+        ++evicted_;
+    }
+    Entry entry;
+    entry.bytes.assign(data, data + sim::kPageSize);
+    entry.tick = ++tick_;
+    lru_[entry.tick] = digest;
+    entries_.emplace(digest, std::move(entry));
+    ++inserted_;
+}
+
+void
+PageCache::invalidate(const sim::PageDigest &digest)
+{
+    auto it = entries_.find(digest);
+    if (it == entries_.end())
+        return;
+    lru_.erase(it->second.tick);
+    entries_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// ServerRuntime
+// ---------------------------------------------------------------------------
+
 ServerRuntime::ServerRuntime(const compiler::CompiledProgram &program,
-                             AdmissionPolicy policy)
-    : program_(program), policy_(policy)
+                             AdmissionPolicy policy,
+                             PageCachePolicy cache_policy)
+    : program_(program), policy_(policy), cache_policy_(cache_policy)
 {
     NOL_ASSERT(policy_.maxConcurrentSessions > 0,
                "server must admit at least one session");
+    NOL_ASSERT(cache_policy_.capacityPages > 0,
+               "page cache needs a nonzero capacity");
 }
 
 ServerRuntime::~ServerRuntime() = default;
@@ -97,6 +155,201 @@ ServerRuntime::grant(Waiter waiter, double now_ns)
     loop_->wake(*waiter.strand, now_ns);
 }
 
+// ---------------------------------------------------------------------------
+// Page cache + prefetch batching
+// ---------------------------------------------------------------------------
+
+PrefetchPlan
+ServerRuntime::planPrefetch(sim::Strand &strand, uint64_t session_id,
+                            double now_ns, std::vector<PrefetchOffer> offers)
+{
+    NOL_ASSERT(loop_ != nullptr && cache_active_,
+               "cache-aware prefetch outside an active-cache fleet run");
+    PrefetchPlan plan;
+    loop_->schedule(now_ns, [this, &strand, &plan, session_id, now_ns,
+                             offers = std::move(offers)]() mutable {
+        if (open_wave_ == 0) {
+            uint64_t id = next_wave_++;
+            open_wave_ = id;
+            waves_[id].id = id;
+            double flush_at =
+                now_ns + cache_policy_.batchWindowSeconds * 1e9;
+            loop_->schedule(flush_at, [this, id, flush_at] {
+                flushWave(id, flush_at);
+            });
+        }
+        PrefetchWave &wave = waves_[open_wave_];
+        PrefetchWave::Member member;
+        member.strand = &strand;
+        member.sessionId = session_id;
+        member.offers = std::move(offers);
+        member.plan = &plan;
+        wave.members.push_back(std::move(member));
+        ++wave.expected;
+    });
+    plan.flushNs = loop_->block(strand);
+    return plan;
+}
+
+void
+ServerRuntime::flushWave(uint64_t wave_id, double now_ns)
+{
+    PrefetchWave &wave = waves_[wave_id];
+    wave.flushed = true;
+    if (open_wave_ == wave_id)
+        open_wave_ = 0;
+    ++cache_stats_.prefetchWaves;
+    if (wave.members.size() >= 2)
+        cache_stats_.batchedSessions += wave.members.size();
+
+    // Assign each unique digest to its first offerer; later offers of
+    // the same content — in this wave or while an earlier wave is
+    // still in flight — ride that one transfer.
+    std::set<sim::PageDigest> assigned_here;
+    for (PrefetchWave::Member &member : wave.members) {
+        PrefetchPlan &plan = *member.plan;
+        plan.waveId = wave_id;
+        std::set<uint64_t> depends;
+        for (const PrefetchOffer &offer : member.offers) {
+            ++cache_stats_.lookups;
+            if (cache_->contains(offer.digest)) {
+                ++cache_stats_.hitPages;
+                plan.cached.push_back(offer);
+                continue;
+            }
+            if (assigned_here.count(offer.digest) != 0) {
+                ++cache_stats_.coalescedPages;
+                plan.cached.push_back(offer); // own-wave barrier covers it
+                continue;
+            }
+            auto pending = pending_.find(offer.digest);
+            if (pending != pending_.end()) {
+                ++cache_stats_.coalescedPages;
+                plan.cached.push_back(offer);
+                depends.insert(pending->second);
+                continue;
+            }
+            ++cache_stats_.missPages;
+            plan.carry.push_back(offer);
+            assigned_here.insert(offer.digest);
+            pending_[offer.digest] = wave_id;
+        }
+        plan.dependsOnWaves.assign(depends.begin(), depends.end());
+    }
+    for (PrefetchWave::Member &member : wave.members)
+        loop_->wake(*member.strand, now_ns);
+}
+
+double
+ServerRuntime::finishPrefetch(sim::Strand &strand, uint64_t wave_id,
+                              const std::vector<uint64_t> &depends_on,
+                              double now_ns,
+                              const std::vector<PrefetchOffer> &carried,
+                              const sim::PagedMemory &server_mem)
+{
+    loop_->schedule(now_ns, [this, &strand, wave_id, depends_on, &carried,
+                             &server_mem, now_ns] {
+        // The strand is blocked, so its server memory is stable: admit
+        // the carried bytes now — they are on the server from here on.
+        for (const PrefetchOffer &offer : carried) {
+            cache_->insert(offer.digest, server_mem.pageData(offer.pageNum));
+            pending_.erase(offer.digest);
+        }
+        waveArrived(wave_id, now_ns);
+
+        WaveWaiter waiter;
+        waiter.strand = &strand;
+        for (uint64_t dep : {wave_id}) {
+            if (!waves_[dep].done)
+                waiter.remaining.insert(dep);
+        }
+        for (uint64_t dep : depends_on) {
+            if (!waves_[dep].done)
+                waiter.remaining.insert(dep);
+        }
+        if (waiter.remaining.empty()) {
+            loop_->wake(strand, now_ns);
+            return;
+        }
+        wave_waiters_.push_back(std::move(waiter));
+    });
+    return loop_->block(strand);
+}
+
+void
+ServerRuntime::abortPrefetch(uint64_t wave_id,
+                             const std::vector<PrefetchOffer> &carried,
+                             double now_ns)
+{
+    // Copy the offers: the aborting session is about to unwind its
+    // stack into failover, so the reference won't outlive this call.
+    std::vector<PrefetchOffer> lost(carried);
+    loop_->schedule(now_ns, [this, wave_id, lost = std::move(lost),
+                             now_ns] {
+        for (const PrefetchOffer &offer : lost) {
+            auto it = pending_.find(offer.digest);
+            if (it != pending_.end() && it->second == wave_id)
+                pending_.erase(it);
+        }
+        waveArrived(wave_id, now_ns);
+    });
+}
+
+void
+ServerRuntime::waveArrived(uint64_t wave_id, double now_ns)
+{
+    PrefetchWave &wave = waves_[wave_id];
+    ++wave.arrived;
+    if (wave.arrived < wave.expected || wave.done)
+        return;
+    wave.done = true;
+    wave.doneNs = now_ns;
+    for (auto it = wave_waiters_.begin(); it != wave_waiters_.end();) {
+        it->remaining.erase(wave_id);
+        if (it->remaining.empty()) {
+            loop_->wake(*it->strand, now_ns);
+            it = wave_waiters_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::vector<uint64_t>
+ServerRuntime::collectCachedPages(sim::Strand &strand, double now_ns,
+                                  const std::vector<PrefetchOffer> &wanted,
+                                  sim::PagedMemory &server_mem)
+{
+    std::vector<uint64_t> served;
+    loop_->schedule(now_ns, [this, &strand, &wanted, &server_mem, &served,
+                             now_ns] {
+        for (const PrefetchOffer &offer : wanted) {
+            const uint8_t *bytes = cache_->lookup(offer.digest);
+            if (bytes == nullptr)
+                continue; // carrier aborted — copy-on-demand backfills
+            server_mem.installPage(offer.pageNum, bytes);
+            served.push_back(offer.pageNum);
+        }
+        loop_->wake(strand, now_ns);
+    });
+    loop_->block(strand);
+    return served;
+}
+
+void
+ServerRuntime::admitWriteBack(double now_ns,
+                              std::vector<PrefetchOffer> pages,
+                              std::vector<std::vector<uint8_t>> contents)
+{
+    NOL_ASSERT(pages.size() == contents.size(),
+               "write-back admission shape mismatch");
+    loop_->schedule(now_ns, [this, pages = std::move(pages),
+                             contents = std::move(contents)] {
+        for (size_t i = 0; i < pages.size(); ++i)
+            cache_->insert(pages[i].digest, contents[i].data());
+    });
+}
+
 FleetReport
 ServerRuntime::run(const std::vector<FleetClient> &clients)
 {
@@ -111,6 +364,17 @@ ServerRuntime::run(const std::vector<FleetClient> &clients)
     admission_denials_ = 0;
     admission_wait_ns_ = 0;
     peak_active_ = 0;
+
+    // Sharing pages across sessions only makes sense with peers; a
+    // 1-client fleet keeps the legacy prefetch path bit-identical.
+    cache_active_ = cache_policy_.enabled && clients.size() >= 2;
+    cache_.reset(new PageCache(cache_policy_.capacityPages));
+    waves_.clear();
+    open_wave_ = 0;
+    next_wave_ = 1;
+    pending_.clear();
+    wave_waiters_.clear();
+    cache_stats_ = PageCacheStats{};
 
     std::vector<std::unique_ptr<Session>> sessions;
     sessions.reserve(clients.size());
@@ -165,6 +429,10 @@ ServerRuntime::run(const std::vector<FleetClient> &clients)
     fleet.peakConcurrentSessions = peak_active_;
     fleet.peakConcurrentFlows = medium.stats().peakConcurrentFlows;
     fleet.mediumBusySeconds = medium.stats().busySeconds;
+    fleet.mediumBytes = medium.stats().bytesCarried;
+    fleet.cache = cache_stats_;
+    fleet.cache.insertedPages = cache_->insertedPages();
+    fleet.cache.evictedPages = cache_->evictedPages();
     if (fleet.makespanSeconds > 0) {
         fleet.offloadsPerSecond =
             static_cast<double>(fleet.totalOffloads) / fleet.makespanSeconds;

@@ -17,11 +17,13 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "runtime/session.hpp"
 #include "runtime/uva.hpp"
+#include "sim/pagedmemory.hpp"
 
 namespace nol::runtime {
 
@@ -29,6 +31,98 @@ namespace nol::runtime {
 struct AdmissionPolicy {
     uint32_t maxConcurrentSessions = 8;
     double maxQueueWaitSeconds = 5.0; ///< then denied → run locally
+};
+
+/** Server-side content-addressed page cache + prefetch batching knobs. */
+struct PageCachePolicy {
+    bool enabled = true;       ///< master switch (sessions also opt in)
+    uint64_t capacityPages = 8192; ///< LRU eviction bound (32 MiB)
+    /**
+     * Admission-wave coalescing window: prefetches registering within
+     * this span of the wave's first registrant flush together, and the
+     * wave's union of unique pages crosses the medium once.
+     */
+    double batchWindowSeconds = 0.002;
+};
+
+/** What the page cache and the prefetch batcher saw over one run. */
+struct PageCacheStats {
+    uint64_t lookups = 0;        ///< digests probed by handshakes
+    uint64_t hitPages = 0;       ///< served straight from the cache
+    uint64_t coalescedPages = 0; ///< deduped against an in-flight wave
+    uint64_t missPages = 0;      ///< assigned to a carrier (transferred)
+    uint64_t insertedPages = 0;
+    uint64_t evictedPages = 0;
+    uint64_t prefetchWaves = 0;    ///< admission waves flushed
+    uint64_t batchedSessions = 0;  ///< members of multi-session waves
+};
+
+/**
+ * Content-addressed store of page contents the server has already
+ * received, keyed by digest of the endianness-normalized (unified-ABI)
+ * page bytes. Identical read-only pages — globals, code-adjacent
+ * tables — of clients running the same binary therefore hit regardless
+ * of which session pushed them first. No invalidation protocol is
+ * needed for correctness: a page dirtied by one session gets a new
+ * digest and simply misses, while the old entry keeps serving sessions
+ * that still hold the old content until LRU eviction retires it.
+ */
+class PageCache
+{
+  public:
+    explicit PageCache(uint64_t capacity_pages)
+        : capacity_(capacity_pages)
+    {}
+
+    /** True if @p digest is cached (no LRU bump, no stats). */
+    bool contains(const sim::PageDigest &digest) const
+    {
+        return entries_.count(digest) != 0;
+    }
+
+    /**
+     * Bytes of the cached page for @p digest (bumping its LRU slot),
+     * or nullptr on miss.
+     */
+    const uint8_t *lookup(const sim::PageDigest &digest);
+
+    /** Admit @p data under @p digest, evicting LRU entries if full. */
+    void insert(const sim::PageDigest &digest, const uint8_t *data);
+
+    /** Drop one entry (explicit invalidation). */
+    void invalidate(const sim::PageDigest &digest);
+
+    uint64_t pages() const { return entries_.size(); }
+    uint64_t insertedPages() const { return inserted_; }
+    uint64_t evictedPages() const { return evicted_; }
+
+  private:
+    struct Entry {
+        std::vector<uint8_t> bytes;
+        uint64_t tick = 0; ///< LRU stamp (monotone use counter)
+    };
+
+    uint64_t capacity_;
+    uint64_t tick_ = 0;
+    std::map<sim::PageDigest, Entry> entries_;
+    std::map<uint64_t, sim::PageDigest> lru_; ///< tick → digest
+    uint64_t inserted_ = 0;
+    uint64_t evicted_ = 0;
+};
+
+/** One page a session offers to (or wants from) the server cache. */
+struct PrefetchOffer {
+    uint64_t pageNum = 0;
+    sim::PageDigest digest;
+};
+
+/** The batcher's answer to one session's digest handshake. */
+struct PrefetchPlan {
+    uint64_t waveId = 0;
+    double flushNs = 0; ///< virtual time the wave flushed (wake time)
+    std::vector<PrefetchOffer> carry;  ///< "need": this session transfers
+    std::vector<PrefetchOffer> cached; ///< "have": cache / peers / waves
+    std::vector<uint64_t> dependsOnWaves; ///< carriers still in flight
 };
 
 /** Outcome of one admission request. */
@@ -67,11 +161,13 @@ struct FleetReport {
     double admissionWaitSeconds = 0;
     double serverBusySeconds = 0;  ///< Σ per-session server compute
     double mediumBusySeconds = 0;  ///< virtual time with ≥1 flow in air
+    uint64_t mediumBytes = 0;      ///< payload bytes the channel carried
     double offloadsPerSecond = 0;  ///< totalOffloads / makespan
     double latencyP50Seconds = 0;
     double latencyP95Seconds = 0;
     uint32_t peakConcurrentSessions = 0; ///< admitted at once
     uint32_t peakConcurrentFlows = 0;    ///< medium contention peak
+    PageCacheStats cache;                ///< all-zero when cache is off
 };
 
 /** The offload server plus the fleet harness around it. */
@@ -79,7 +175,8 @@ class ServerRuntime
 {
   public:
     explicit ServerRuntime(const compiler::CompiledProgram &program,
-                           AdmissionPolicy policy = {});
+                           AdmissionPolicy policy = {},
+                           PageCachePolicy cache_policy = {});
     ~ServerRuntime();
 
     /** Simulate @p clients against one server; blocks until done. */
@@ -101,6 +198,73 @@ class ServerRuntime
     UvaManager &namespaceFor(uint64_t session_id);
 
     const AdmissionPolicy &policy() const { return policy_; }
+    const PageCachePolicy &cachePolicy() const { return cache_policy_; }
+
+    // --- Page cache + prefetch batching (called from session strands) --
+    //
+    // Life cycle of one cache-aware prefetch: the session wires its
+    // digest list, calls planPrefetch() (blocks until the admission
+    // wave flushes and returns the have/need split), transfers only
+    // its `carry` slice, then finishPrefetch() (arrival barrier: the
+    // carried bytes enter the cache and the strand blocks until every
+    // carrier this plan relies on has arrived or aborted), and finally
+    // collectCachedPages() installs the `cached` pages server-side
+    // without any bytes on the medium. A carrier whose slice transfer
+    // fails calls abortPrefetch() instead so peers never deadlock —
+    // pages it was carrying simply stay missing and are backfilled by
+    // copy-on-demand.
+
+    /** True when this run shares pages (≥2 clients and cache enabled). */
+    bool cacheActive() const { return cache_active_; }
+
+    /**
+     * Register @p offers with the current admission wave and block the
+     * strand until the wave flushes; returns the have/need plan.
+     */
+    PrefetchPlan planPrefetch(sim::Strand &strand, uint64_t session_id,
+                              double now_ns,
+                              std::vector<PrefetchOffer> offers);
+
+    /**
+     * Arrival barrier: admit this session's @p carried pages (bytes
+     * read from @p server_mem) to the cache, then block until the own
+     * wave and every wave in @p depends_on completed. Returns the
+     * barrier-release virtual time.
+     */
+    double finishPrefetch(sim::Strand &strand, uint64_t wave_id,
+                          const std::vector<uint64_t> &depends_on,
+                          double now_ns,
+                          const std::vector<PrefetchOffer> &carried,
+                          const sim::PagedMemory &server_mem);
+
+    /**
+     * A carrier's slice transfer failed mid-flight: release its
+     * pending digests and count it as arrived so the wave completes.
+     */
+    void abortPrefetch(uint64_t wave_id,
+                       const std::vector<PrefetchOffer> &carried,
+                       double now_ns);
+
+    /**
+     * Install every @p wanted page whose digest is cached into
+     * @p server_mem (no medium bytes). Returns the served page
+     * numbers; missing ones stay absent for copy-on-demand.
+     */
+    std::vector<uint64_t>
+    collectCachedPages(sim::Strand &strand, double now_ns,
+                       const std::vector<PrefetchOffer> &wanted,
+                       sim::PagedMemory &server_mem);
+
+    /**
+     * Write-back ledger admission: at finalization the server already
+     * holds the pages it just wrote back, so their contents enter the
+     * cache for free. This is what de-duplicates a failover-reconnect
+     * prefetch against state the server has already seen. @p contents
+     * are owned copies (the caller's memory may change before the
+     * event fires).
+     */
+    void admitWriteBack(double now_ns, std::vector<PrefetchOffer> pages,
+                        std::vector<std::vector<uint8_t>> contents);
 
   private:
     struct Waiter {
@@ -110,10 +274,36 @@ class ServerRuntime
         uint64_t timeoutEvent = 0;
     };
 
+    /** One admission wave of the prefetch batcher. */
+    struct PrefetchWave {
+        uint64_t id = 0;
+        bool flushed = false;
+        bool done = false;
+        double doneNs = 0;
+        uint32_t expected = 0;
+        uint32_t arrived = 0;
+        struct Member {
+            sim::Strand *strand = nullptr;
+            uint64_t sessionId = 0;
+            std::vector<PrefetchOffer> offers;
+            PrefetchPlan *plan = nullptr;
+        };
+        std::vector<Member> members;
+    };
+
+    /** A strand parked until a set of waves completes. */
+    struct WaveWaiter {
+        sim::Strand *strand = nullptr;
+        std::set<uint64_t> remaining;
+    };
+
     void grant(Waiter waiter, double now_ns);
+    void flushWave(uint64_t wave_id, double now_ns);
+    void waveArrived(uint64_t wave_id, double now_ns);
 
     const compiler::CompiledProgram &program_;
     AdmissionPolicy policy_;
+    PageCachePolicy cache_policy_;
 
     // Valid only during run() (the fleet's shared infrastructure).
     sim::EventLoop *loop_ = nullptr;
@@ -126,6 +316,17 @@ class ServerRuntime
     uint64_t admission_denials_ = 0;
     double admission_wait_ns_ = 0;
     uint32_t peak_active_ = 0;
+
+    // Page cache + batcher (run-scoped like the admission state).
+    bool cache_active_ = false;
+    std::unique_ptr<PageCache> cache_;
+    std::map<uint64_t, PrefetchWave> waves_;
+    uint64_t open_wave_ = 0; ///< unflushed wave id, 0 = none
+    uint64_t next_wave_ = 1;
+    /** Digests assigned to an in-flight carrier: digest → wave. */
+    std::map<sim::PageDigest, uint64_t> pending_;
+    std::vector<WaveWaiter> wave_waiters_;
+    PageCacheStats cache_stats_;
 };
 
 } // namespace nol::runtime

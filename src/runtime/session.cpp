@@ -51,6 +51,11 @@ struct Session::Impl {
     uint64_t fnPtrUnits = 0;
     std::vector<OffloadEvent> events;
 
+    // Page-cache accounting (stays zero on the legacy prefetch path).
+    uint64_t digestHandshakes = 0;
+    uint64_t prefetchPagesSent = 0;
+    uint64_t prefetchPagesCached = 0;
+
     // Fleet-mode admission accounting.
     uint64_t admissionWaits = 0;
     uint64_t admissionDenials = 0;
@@ -122,6 +127,19 @@ struct Session::Impl {
             return;
         slotHeld = false;
         fleet.server->release(fleet.sessionId, mobile.nowNs());
+    }
+
+    /**
+     * Prefetch through the server's content-addressed page cache?
+     * Requires the session to opt in *and* the fleet to actually share
+     * pages (≥2 clients) — otherwise the legacy push path runs and the
+     * run is bit-identical to a cache-free build.
+     */
+    bool
+    cacheActive() const
+    {
+        return fleet.server != nullptr && cfg.pageCacheEnabled &&
+               fleet.server->cacheActive();
     }
 
     RunReport run(const RunInput &input);
@@ -470,7 +488,7 @@ class MobileEnv : public interp::DefaultEnv
         // Unified pages are the ones with a named UVA region (globals
         // or either heap sub-range); everything else is machine-local.
         auto in_uva = [this](uint64_t page_num) {
-            return ctx_.uva.regionOf(page_num * sim::kPageSize) != nullptr;
+            return ctx_.uva.regionOfPage(page_num) != nullptr;
         };
         std::vector<uint64_t> out;
         if (everything) {
@@ -490,6 +508,73 @@ class MobileEnv : public interp::DefaultEnv
                 out.push_back(page);
         }
         return out;
+    }
+
+    /** Per-page digesting throughput on the device: ~16 bytes/unit. */
+    static constexpr uint64_t kDigestCostUnits = sim::kPageSize / 16;
+
+    /**
+     * Cache-aware initialization (tentpole of the fleet page cache):
+     * instead of pushing every prefetch page, the device wires the
+     * pages' content digests, the server batches the handshake with
+     * every other prefetch of the same admission wave, and only the
+     * pages nobody else has ("need") cross the medium. Pages the cache
+     * or an in-flight peer already carries install server-side for
+     * free once their carrier's transfer lands (arrival barrier).
+     */
+    void
+    prefetchThroughCache(const std::vector<uint64_t> &pages)
+    {
+        ServerRuntime &srv = *ctx_.fleet.server;
+
+        std::vector<PrefetchOffer> offers;
+        offers.reserve(pages.size());
+        for (uint64_t page : pages)
+            offers.push_back({page, ctx_.mobile.mem().pageDigest(page)});
+        ctx_.mobile.advanceCompute(pages.size() * kDigestCostUnits);
+        ++ctx_.digestHandshakes;
+
+        ctx_.comm.sendDigestsToServer(offers.size());
+        PrefetchPlan plan =
+            srv.planPrefetch(*ctx_.fleet.strand, ctx_.fleet.sessionId,
+                             ctx_.mobile.nowNs(), offers);
+        // The batch window: the device idles until the wave flushed.
+        if (plan.flushNs > ctx_.mobile.nowNs()) {
+            ctx_.mobile.syncTo(plan.flushNs, sim::PowerState::Waiting);
+            ctx_.server.syncTo(plan.flushNs, sim::PowerState::Idle);
+        }
+        try {
+            ctx_.comm.sendHaveNeedToMobile(offers.size());
+            std::vector<uint64_t> carry_pages;
+            carry_pages.reserve(plan.carry.size());
+            for (const PrefetchOffer &offer : plan.carry)
+                carry_pages.push_back(offer.pageNum);
+            ctx_.comm.pushPagesToServer(carry_pages, CommCategory::Prefetch);
+        } catch (const CommFailure &) {
+            // The wave already counts on this carrier: release its
+            // digests so waiting peers complete (their pages simply
+            // stay missing and copy-on-demand backfills them).
+            srv.abortPrefetch(plan.waveId, plan.carry,
+                              ctx_.mobile.nowNs());
+            throw;
+        }
+        double done_ns = srv.finishPrefetch(
+            *ctx_.fleet.strand, plan.waveId, plan.dependsOnWaves,
+            ctx_.mobile.nowNs(), plan.carry, ctx_.server.mem());
+        if (done_ns > ctx_.mobile.nowNs()) {
+            ctx_.mobile.syncTo(done_ns, sim::PowerState::Waiting);
+            ctx_.server.syncTo(done_ns, sim::PowerState::Idle);
+        }
+        std::vector<uint64_t> served = srv.collectCachedPages(
+            *ctx_.fleet.strand, ctx_.mobile.nowNs(), plan.cached,
+            ctx_.server.mem());
+        // Served pages are now on the server exactly as if pushed; the
+        // device's dirty bits clear like the legacy path's would (a
+        // failover snapshot restores them, same as for pushed pages).
+        for (uint64_t page : served)
+            ctx_.mobile.mem().clearDirty(page);
+        ctx_.prefetchPagesSent += plan.carry.size();
+        ctx_.prefetchPagesCached += served.size();
     }
 
     /**
@@ -544,7 +629,12 @@ class MobileEnv : public interp::DefaultEnv
         if (ctx_.cfg.prefetchEnabled || !ctx_.cfg.copyOnDemand) {
             std::vector<uint64_t> pages =
                 collectPrefetchPages(!ctx_.cfg.copyOnDemand);
-            ctx_.comm.pushPagesToServer(pages, CommCategory::Prefetch);
+            if (ctx_.cacheActive() && !pages.empty()) {
+                prefetchThroughCache(pages);
+            } else {
+                ctx_.comm.pushPagesToServer(pages, CommCategory::Prefetch);
+                ctx_.prefetchPagesSent += pages.size();
+            }
         }
 
         // Fresh server process: re-initialize server-local globals and
@@ -582,6 +672,30 @@ class MobileEnv : public interp::DefaultEnv
         server_env.flushOutputs();
         ctx_.comm.sendToMobile(64, CommCategory::Control); // return value
         ctx_.comm.writeBackDirtyPages();
+        if (ctx_.cacheActive()) {
+            // Write-back ledger: the server held these exact contents a
+            // moment ago, so they enter the cache for free — this is
+            // what answers "have" when a failover-reconnect prefetch
+            // re-offers state the server has already seen. Copies are
+            // owned because the process terminates before the cache
+            // event fires. Hashing here is off the device's critical
+            // path and goes uncharged.
+            std::vector<uint64_t> dirty = ctx_.server.mem().dirtyPages();
+            std::vector<PrefetchOffer> admitted;
+            std::vector<std::vector<uint8_t>> contents;
+            admitted.reserve(dirty.size());
+            contents.reserve(dirty.size());
+            for (uint64_t page : dirty) {
+                const uint8_t *data = ctx_.server.mem().pageData(page);
+                admitted.push_back({page, sim::digestPage(data)});
+                contents.emplace_back(data, data + sim::kPageSize);
+            }
+            if (!admitted.empty()) {
+                ctx_.fleet.server->admitWriteBack(ctx_.mobile.nowNs(),
+                                                  std::move(admitted),
+                                                  std::move(contents));
+            }
+        }
         ctx_.server.mem().setFaultHandler(nullptr);
         ctx_.server.mem().clear(); // terminate the offloading process
         ctx_.comm.syncClocks();
@@ -749,6 +863,7 @@ Session::Impl::run(const RunInput &input)
         comm.secondsIn(CommCategory::Prefetch) +
         comm.secondsIn(CommCategory::Demand) +
         comm.secondsIn(CommCategory::WriteBack) +
+        comm.secondsIn(CommCategory::Digest) +
         comm.compressSeconds() + comm.decompressSeconds();
 
     report.wireBytes = comm.totalWireBytes();
@@ -765,6 +880,9 @@ Session::Impl::run(const RunInput &input)
     report.admissionWaits = admissionWaits;
     report.admissionDenials = admissionDenials;
     report.admissionWaitSeconds = admissionWaitNs * 1e-9;
+    report.digestHandshakes = digestHandshakes;
+    report.prefetchPagesSent = prefetchPagesSent;
+    report.prefetchPagesCached = prefetchPagesCached;
     report.events = events;
     report.powerTimeline = mobile.power().timeline();
     return report;

@@ -100,6 +100,18 @@ class UvaManager
     }
 
     /**
+     * Region containing the first byte of page @p page_num, or nullptr.
+     * Unified pages are exactly the ones with a named region; the
+     * session's prefetch collector and the server page cache both key
+     * off this predicate.
+     */
+    const UvaRegion *
+    regionOfPage(uint64_t page_num) const
+    {
+        return regionOf(page_num * sim::kPageSize);
+    }
+
+    /**
      * Translate @p addr to (region, offset). Returns false — leaving
      * the outputs untouched — when the address is unmapped.
      */

@@ -88,6 +88,36 @@ PagedMemory::pageData(uint64_t page_num) const
     return it->second.data.get();
 }
 
+PageDigest
+digestBytes(const uint8_t *data, uint64_t size)
+{
+    // Two independent byte streams: FNV-1a and a rotate-xor-multiply
+    // accumulator. 128 bits total, so colliding page contents would
+    // have to defeat both at once — the page-cache tests sweep a
+    // corpus of real and adversarially similar pages to back this up.
+    uint64_t a = 0xcbf29ce484222325ull; // FNV offset basis
+    uint64_t b = 0x9e3779b97f4a7c15ull ^ (size * 0xff51afd7ed558ccdull);
+    for (uint64_t i = 0; i < size; ++i) {
+        a = (a ^ data[i]) * 0x00000100000001b3ull; // FNV prime
+        b = ((b << 5) | (b >> 59)) ^ data[i];
+        b *= 0xc2b2ae3d27d4eb4full;
+    }
+    // Final avalanche so single-byte suffix changes spread to all bits.
+    a ^= a >> 33;
+    a *= 0xff51afd7ed558ccdull;
+    a ^= a >> 29;
+    b ^= b >> 31;
+    b *= 0x9e3779b97f4a7c15ull;
+    b ^= b >> 27;
+    return {a, b};
+}
+
+PageDigest
+PagedMemory::pageDigest(uint64_t page_num) const
+{
+    return digestPage(pageData(page_num));
+}
+
 void
 PagedMemory::dropPage(uint64_t page_num)
 {

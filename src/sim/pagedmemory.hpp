@@ -29,6 +29,46 @@ pageOf(uint64_t addr)
     return addr / kPageSize;
 }
 
+/**
+ * 128-bit content digest of a byte range. Pages hold the *unified* ABI
+ * byte image (MemUnifier pins struct layout and byte order to the
+ * mobile ABI before partitioning), so two machines — or two sessions
+ * running the same binary — that hold the same logical content hold
+ * the same bytes and therefore compute the same digest, regardless of
+ * either host architecture's native endianness. This is what makes the
+ * digest usable as a cross-session content address.
+ */
+struct PageDigest {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    friend bool
+    operator==(const PageDigest &a, const PageDigest &b)
+    {
+        return a.lo == b.lo && a.hi == b.hi;
+    }
+    friend bool
+    operator!=(const PageDigest &a, const PageDigest &b)
+    {
+        return !(a == b);
+    }
+    friend bool
+    operator<(const PageDigest &a, const PageDigest &b)
+    {
+        return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+    }
+};
+
+/** Digest @p size bytes starting at @p data (two independent streams). */
+PageDigest digestBytes(const uint8_t *data, uint64_t size);
+
+/** Digest one full page. */
+inline PageDigest
+digestPage(const uint8_t *data)
+{
+    return digestBytes(data, kPageSize);
+}
+
 /** One materialized physical page. */
 struct Page {
     std::unique_ptr<uint8_t[]> data;
@@ -86,6 +126,9 @@ class PagedMemory
 
     /** Raw bytes of a present page (read-only). */
     const uint8_t *pageData(uint64_t page_num) const;
+
+    /** Content digest of a present page. */
+    PageDigest pageDigest(uint64_t page_num) const;
 
     /** Drop a page entirely (used to reset the server between tasks). */
     void dropPage(uint64_t page_num);

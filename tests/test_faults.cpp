@@ -20,6 +20,7 @@
 #include "frontend/codegen.hpp"
 #include "net/simnetwork.hpp"
 #include "runtime/offload.hpp"
+#include "runtime/server.hpp"
 #include "support/rng.hpp"
 
 using namespace nol;
@@ -521,6 +522,129 @@ TEST(faults, NoopEnabledPlanIsBitIdenticalToDisabled)
     EXPECT_EQ(off.wireBytes, noop.wireBytes);
     EXPECT_EQ(noop.retries, 0u);
     EXPECT_EQ(noop.failovers, 0u);
+}
+
+// Regression: after a failover the device's rolled-back dirty pages
+// are re-offered at the next prefetch. Pre-ledger, those pages were
+// re-sent even though the server had already seen their exact contents
+// (pushed by the fault-free peer, admitted at prefetch arrival and at
+// write-back). Content addressing must dedupe them: the post-failover
+// offload gets cache hits and the fleet moves fewer prefetch bytes
+// than the same faulty fleet without the cache.
+TEST(faults, FailoverReconnectDedupesAgainstWriteBackLedger)
+{
+    // The crunch fixture outlines its 3-turn loop into one offload
+    // region, so a failover there leaves nothing to offload later.
+    // This variant unrolls the turns into three call sites: decision 1
+    // can fail over while decisions 2-3 still reach the server.
+    const char *source = R"(
+        double* data;
+        int N;
+        double crunch(int rounds) {
+            double acc = 0.0;
+            for (int r = 0; r < rounds; r++) {
+                for (int i = 0; i < N; i++) {
+                    data[i] = data[i] * 1.0001 + (double)((i * r) % 17) * 0.01;
+                    acc += data[i];
+                }
+            }
+            return acc;
+        }
+        int main() {
+            scanf("%d", &N);
+            data = (double*)malloc(sizeof(double) * N);
+            for (int i = 0; i < N; i++) data[i] = (double)i * 0.5;
+            double total = 0.0;
+            total += crunch(40);
+            data[0] = total;
+            total += crunch(40);
+            data[1] = total;
+            total += crunch(40);
+            data[2] = total;
+            printf("total=%.3f first=%.3f\n", total, data[0]);
+            return ((int)total) % 97;
+        }
+    )";
+    auto mod = frontend::compileSource(source, "ledger");
+    compiler::CompileOptions options;
+    options.profilingInput.stdinText = "1500";
+    CompiledFaultWorkload wl;
+    wl.program = compiler::compileForOffload(std::move(mod), options);
+    wl.input.stdinText = "3000";
+    SystemConfig local_cfg;
+    local_cfg.forceLocal = true;
+    wl.local = OffloadSystem(wl.program, local_cfg).run(wl.input);
+
+    // Client 0's link dies mid-first-offload (past the prefetch push)
+    // and burns the whole 5-attempt retry budget → failover; two more
+    // failed attempts later the link heals, so its remaining offloads
+    // reconnect. Client 1 runs fault-free.
+    net::FaultPlan plan;
+    plan.enabled = true;
+    plan.disconnectAtMessage = 12;
+    plan.reconnectAfterAttempts = 7;
+
+    auto make_clients = [&](bool cache_on) {
+        std::vector<FleetClient> clients;
+        for (size_t i = 0; i < 2; ++i) {
+            FleetClient client;
+            client.name = "c" + std::to_string(i);
+            client.config.pageCacheEnabled = cache_on;
+            if (i == 0)
+                client.config.faultPlan = plan;
+            client.input = wl.input;
+            client.startSeconds = static_cast<double>(i) * 0.0005;
+            clients.push_back(client);
+        }
+        return clients;
+    };
+
+    ServerRuntime server_on(wl.program);
+    FleetReport on = server_on.run(make_clients(true));
+    ServerRuntime server_off(wl.program);
+    FleetReport off = server_off.run(make_clients(false));
+
+    // The scenario actually happened: client 0 failed over, then
+    // offloaded again after the link healed.
+    const RunReport &victim = on.clients.at(0).report;
+    ASSERT_GE(victim.failovers, 1u);
+    size_t first_failover = victim.events.size();
+    for (size_t i = 0; i < victim.events.size(); ++i) {
+        if (victim.events[i].failedOver) {
+            first_failover = i;
+            break;
+        }
+    }
+    ASSERT_LT(first_failover, victim.events.size());
+    bool offloaded_after = false;
+    for (size_t i = first_failover + 1; i < victim.events.size(); ++i)
+        offloaded_after |= victim.events[i].offloaded;
+    EXPECT_TRUE(offloaded_after);
+
+    // The dedupe: the victim's first prefetch carried every page (it
+    // registered first), so any cached pages it reports were served to
+    // its post-failover offloads out of the ledger.
+    EXPECT_GT(victim.prefetchPagesCached, 0u);
+
+    // Both clients still behave exactly like the force-local run.
+    for (const FleetReport *fleet : {&on, &off}) {
+        for (const FleetClientResult &result : fleet->clients) {
+            EXPECT_EQ(result.report.exitValue, wl.local.exitValue);
+            EXPECT_EQ(result.report.console, wl.local.console);
+        }
+    }
+
+    // And the cache still pays for itself under the fault schedule.
+    auto prefetch_bytes = [](const FleetReport &fleet) {
+        uint64_t total = 0;
+        for (const FleetClientResult &result : fleet.clients) {
+            auto it = result.report.bytesByCategory.find("prefetch");
+            if (it != result.report.bytesByCategory.end())
+                total += it->second;
+        }
+        return total;
+    };
+    EXPECT_LT(prefetch_bytes(on), prefetch_bytes(off));
 }
 
 TEST(faults, FaultRunsAreDeterministic)

@@ -349,6 +349,9 @@ expectReportsIdentical(const RunReport &solo, const RunReport &fleet)
     EXPECT_EQ(solo.failovers, fleet.failovers);
     EXPECT_EQ(fleet.admissionWaits, 0u);
     EXPECT_EQ(fleet.admissionDenials, 0u);
+    EXPECT_EQ(solo.digestHandshakes, fleet.digestHandshakes);
+    EXPECT_EQ(solo.prefetchPagesSent, fleet.prefetchPagesSent);
+    EXPECT_EQ(solo.prefetchPagesCached, fleet.prefetchPagesCached);
 
     ASSERT_EQ(solo.events.size(), fleet.events.size());
     for (size_t i = 0; i < solo.events.size(); ++i) {
@@ -521,6 +524,170 @@ TEST(FleetAdmission, SingleSlotQueuesFifoWithoutDeadlock)
     for (const FleetClientResult &result : fleet.clients) {
         EXPECT_EQ(result.report.console, solo_report.console);
         EXPECT_EQ(result.report.exitValue, solo_report.exitValue);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page cache: cache-on vs cache-off equivalence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Sum one wire category over every client of a fleet. */
+uint64_t
+fleetCategoryBytes(const FleetReport &fleet, const std::string &category)
+{
+    uint64_t total = 0;
+    for (const FleetClientResult &result : fleet.clients) {
+        auto it = result.report.bytesByCategory.find(category);
+        if (it != result.report.bytesByCategory.end())
+            total += it->second;
+    }
+    return total;
+}
+
+FleetReport
+runFleetCache(const compiler::CompiledProgram &prog, SystemConfig cfg,
+              size_t n, bool cache_on, const RunInput &input)
+{
+    cfg.pageCacheEnabled = cache_on;
+    ServerRuntime server(prog, AdmissionPolicy{}, PageCachePolicy{});
+    return server.run(makeClients(n, cfg, input));
+}
+
+} // namespace
+
+// The headline invariant of the cache: it changes how many bytes move,
+// never what any client computes. Sweep every workload on both
+// networks, fault-free and faulty.
+TEST(FleetPageCache, CacheOnVsOffSweepKeepsOutputsIdentical)
+{
+    for (const EquivCase &c : equivCases()) {
+        compiler::CompiledProgram prog = compileCase(c);
+        for (bool slow : {false, true}) {
+            for (bool faults : {false, true}) {
+                SCOPED_TRACE(std::string(c.name) +
+                             (slow ? " @802.11n" : " @802.11ac") +
+                             (faults ? " +faults" : ""));
+                SystemConfig cfg;
+                cfg.network =
+                    slow ? net::makeWifi80211n() : net::makeWifi80211ac();
+                if (faults) {
+                    cfg.faultPlan.enabled = true;
+                    cfg.faultPlan.seed = 1234;
+                    cfg.faultPlan.dropRate = 0.08;
+                    cfg.faultPlan.latencySpikeRate = 0.04;
+                }
+
+                FleetReport off =
+                    runFleetCache(prog, cfg, 3, false, caseInput(c));
+                FleetReport on =
+                    runFleetCache(prog, cfg, 3, true, caseInput(c));
+
+                ASSERT_EQ(on.clients.size(), off.clients.size());
+                for (size_t i = 0; i < on.clients.size(); ++i) {
+                    EXPECT_EQ(on.clients[i].report.console,
+                              off.clients[i].report.console);
+                    EXPECT_EQ(on.clients[i].report.exitValue,
+                              off.clients[i].report.exitValue);
+                }
+                if (!faults) {
+                    // Dedupe can only remove prefetch bytes; the small
+                    // digest handshake is the only thing it adds.
+                    EXPECT_LE(fleetCategoryBytes(on, "prefetch"),
+                              fleetCategoryBytes(off, "prefetch"));
+                }
+            }
+        }
+    }
+}
+
+// At N ≥ 2 on the prefetch-heavy workload, shared pages must actually
+// come off the medium: strictly fewer prefetch bytes and strictly
+// fewer total bytes, despite the added digest traffic.
+TEST(FleetPageCache, SharedPagesComeOffTheMediumAtTwoPlusClients)
+{
+    EquivCase c = equivCases()[0]; // compute: dirties heap before calls
+    compiler::CompiledProgram prog = compileCase(c);
+    SystemConfig cfg;
+    cfg.network = net::makeWifi80211ac();
+
+    for (size_t n : {2u, 4u}) {
+        SCOPED_TRACE("N=" + std::to_string(n));
+        FleetReport off = runFleetCache(prog, cfg, n, false, caseInput(c));
+        FleetReport on = runFleetCache(prog, cfg, n, true, caseInput(c));
+        EXPECT_LT(fleetCategoryBytes(on, "prefetch"),
+                  fleetCategoryBytes(off, "prefetch"));
+        EXPECT_LT(on.mediumBytes, off.mediumBytes);
+        EXPECT_GT(on.cache.hitPages + on.cache.coalescedPages, 0u);
+    }
+}
+
+// A 1-client fleet with the cache requested must still run the legacy
+// path and stay bit-identical to the solo system, field by field.
+TEST(FleetPageCache, SingleClientCacheOnIsBitIdenticalToSolo)
+{
+    for (const EquivCase &c : equivCases()) {
+        SCOPED_TRACE(c.name);
+        compiler::CompiledProgram prog = compileCase(c);
+        SystemConfig cfg;
+        cfg.network = net::makeWifi80211ac();
+
+        OffloadSystem solo(prog, cfg);
+        RunReport solo_report = solo.run(caseInput(c));
+
+        cfg.pageCacheEnabled = true;
+        ServerRuntime server(prog, AdmissionPolicy{}, PageCachePolicy{});
+        FleetClient client;
+        client.name = "c0";
+        client.config = cfg;
+        client.input = caseInput(c);
+        FleetReport fleet = server.run({client});
+        expectReportsIdentical(solo_report, fleet.clients.at(0).report);
+        EXPECT_EQ(fleet.cache.lookups, 0u);
+    }
+}
+
+// Cache-off multi-client runs must be bit-identical to a build that
+// never had a cache — i.e. to themselves, deterministically, with all
+// cache accounting at zero.
+TEST(FleetPageCache, CacheOffFleetHasZeroCacheFootprint)
+{
+    EquivCase c = equivCases()[0];
+    compiler::CompiledProgram prog = compileCase(c);
+    SystemConfig cfg;
+    cfg.network = net::makeWifi80211n();
+
+    FleetReport fleet = runFleetCache(prog, cfg, 4, false, caseInput(c));
+    EXPECT_EQ(fleet.cache.lookups, 0u);
+    EXPECT_EQ(fleet.cache.insertedPages, 0u);
+    EXPECT_EQ(fleetCategoryBytes(fleet, "digest"), 0u);
+    for (const FleetClientResult &result : fleet.clients) {
+        EXPECT_EQ(result.report.digestHandshakes, 0u);
+        EXPECT_EQ(result.report.prefetchPagesCached, 0u);
+    }
+}
+
+TEST(FleetPageCache, CachedRunsAreBitIdenticalAcrossRepeats)
+{
+    EquivCase c = equivCases()[0];
+    compiler::CompiledProgram prog = compileCase(c);
+    SystemConfig cfg;
+    cfg.network = net::makeWifi80211ac();
+
+    FleetReport a = runFleetCache(prog, cfg, 4, true, caseInput(c));
+    FleetReport b = runFleetCache(prog, cfg, 4, true, caseInput(c));
+    EXPECT_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.mediumBytes, b.mediumBytes);
+    EXPECT_EQ(a.cache.hitPages, b.cache.hitPages);
+    EXPECT_EQ(a.cache.coalescedPages, b.cache.coalescedPages);
+    EXPECT_EQ(a.cache.missPages, b.cache.missPages);
+    ASSERT_EQ(a.clients.size(), b.clients.size());
+    for (size_t i = 0; i < a.clients.size(); ++i) {
+        EXPECT_EQ(a.clients[i].report.mobileSeconds,
+                  b.clients[i].report.mobileSeconds);
+        EXPECT_EQ(a.clients[i].report.wireBytes,
+                  b.clients[i].report.wireBytes);
     }
 }
 

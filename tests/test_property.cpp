@@ -393,3 +393,87 @@ TEST_P(FaultRetryProperty, MobileTimelineIsMonotoneUnderFaults)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultRetryProperty, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Property: for ANY same-binary fleet shape (client count, network,
+// arrival stagger), turning the page cache on changes no client's
+// output and never adds prefetch or medium bytes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t
+fleetBytes(const runtime::FleetReport &fleet, const std::string &category)
+{
+    uint64_t total = 0;
+    for (const runtime::FleetClientResult &result : fleet.clients) {
+        auto it = result.report.bytesByCategory.find(category);
+        if (it != result.report.bytesByCategory.end())
+            total += it->second;
+    }
+    return total;
+}
+
+} // namespace
+
+class PageCacheFleetProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PageCacheFleetProperty, CacheChangesBytesNeverResults)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 2179 + 17);
+    core::CompileRequest req;
+    req.name = "cacheprop";
+    req.source = synthesizeSyncProgram(rng.next());
+    req.profilingInput.stdinText = "1";
+    core::Program prog = core::Program::compile(req);
+    if (!prog.hasTargets())
+        GTEST_SKIP() << "no profitable target for this seed";
+
+    // Random fleet shape. Faults stay off: the byte inequality relies
+    // on cache-on and cache-off taking the same offload schedule.
+    size_t n = static_cast<size_t>(rng.range(2, 7));
+    runtime::SystemConfig cfg;
+    if (rng.chance(0.5))
+        cfg.network = net::makeWifi80211n();
+    std::vector<runtime::FleetClient> clients;
+    for (size_t i = 0; i < n; ++i) {
+        runtime::FleetClient client;
+        client.name = "p" + std::to_string(i);
+        client.config = cfg;
+        client.input.stdinText = "1";
+        client.startSeconds =
+            static_cast<double>(i) * (0.0001 + rng.uniform() * 0.002);
+        clients.push_back(client);
+    }
+
+    runtime::FleetReport off = prog.runFleet(clients);
+    for (runtime::FleetClient &client : clients)
+        client.config.pageCacheEnabled = true;
+    runtime::FleetReport on = prog.runFleet(clients);
+
+    ASSERT_EQ(on.clients.size(), off.clients.size());
+    for (size_t i = 0; i < on.clients.size(); ++i) {
+        EXPECT_EQ(on.clients[i].report.console,
+                  off.clients[i].report.console)
+            << "client " << i;
+        EXPECT_EQ(on.clients[i].report.exitValue,
+                  off.clients[i].report.exitValue)
+            << "client " << i;
+    }
+    EXPECT_LE(fleetBytes(on, "prefetch"), fleetBytes(off, "prefetch"));
+    EXPECT_LE(on.mediumBytes, off.mediumBytes);
+
+    // Conservation: every offered page was either carried or served.
+    uint64_t sent = 0, cached = 0;
+    for (const runtime::FleetClientResult &result : on.clients) {
+        sent += result.report.prefetchPagesSent;
+        cached += result.report.prefetchPagesCached;
+    }
+    EXPECT_EQ(on.cache.missPages, sent);
+    EXPECT_EQ(on.cache.hitPages + on.cache.coalescedPages, cached);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageCacheFleetProperty,
+                         ::testing::Range(0, 8));
