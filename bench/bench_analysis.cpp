@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Analysis-framework bench: for all 17 workloads + chess, measures the
+ * interprocedural points-to + taint analysis wall time, the points-to
+ * graph shape (nodes, objects, edges, fixpoint passes) and — the paper
+ * payoff — how much the analysis shrinks what must be shipped to the
+ * server versus the conservative call-graph treatment: UVA-resident
+ * globals (Sec. 3.2) and the function-pointer translation map
+ * (Sec. 3.4). Also re-runs the offload-safety verifier so the shrink
+ * numbers are only reported on partitions it accepts. Results land in
+ * BENCH_analysis.json next to the table.
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/pointsto.hpp"
+#include "analysis/taint.hpp"
+#include "bench/benchlib.hpp"
+#include "support/strings.hpp"
+
+using namespace nol;
+using namespace nol::bench;
+
+namespace {
+
+struct Row {
+    std::string id;
+    double analysisMs = 0;
+    analysis::PointsToStats stats;
+    size_t taintedFns = 0;
+    size_t uvaGlobals = 0;
+    size_t uvaGlobalsConservative = 0;
+    size_t totalGlobals = 0;
+    size_t fptrMap = 0;
+    size_t fptrMapConservative = 0;
+    size_t diagnostics = 0;
+    bool verified = false;
+};
+
+Row
+measure(const workloads::WorkloadSpec &spec)
+{
+    Row row;
+    row.id = spec.id;
+    core::Program program = compileWorkload(spec);
+    const compiler::CompiledProgram &prog = program.compiled();
+
+    // Re-run the analysis stack over the unified module, timed alone
+    // (the pipeline interleaves it with profiling and partitioning).
+    auto t0 = std::chrono::steady_clock::now();
+    analysis::PointsToResult pts = analysis::analyzePointsTo(*prog.unified);
+    analysis::AttributeResult taint =
+        analysis::machineSpecificTaint(*prog.unified, pts, {});
+    auto t1 = std::chrono::steady_clock::now();
+    row.analysisMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    row.stats = pts.stats();
+    row.taintedFns = taint.members().size();
+
+    row.uvaGlobals = prog.unifyStats.uvaGlobals;
+    row.uvaGlobalsConservative = prog.unifyStats.uvaGlobalsConservative;
+    row.totalGlobals = prog.unifyStats.totalGlobals;
+    row.fptrMap = prog.partition.fptrMap.size();
+    row.fptrMapConservative = prog.partition.fptrMapConservative;
+
+    support::DiagnosticEngine engine = program.verify();
+    row.diagnostics = engine.size();
+    row.verified = !engine.hasErrors();
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Analysis framework: cost and shrink vs the "
+                "conservative call graph ===\n");
+    std::printf("UVA globals / fptr map: points-to-refined size vs what "
+                "the address-taken fallback ships\n\n");
+
+    std::vector<workloads::WorkloadSpec> specs = workloads::allWorkloads();
+    specs.push_back(workloads::makeChess(3));
+
+    std::vector<Row> rows;
+    for (const auto &spec : specs)
+        rows.push_back(measure(spec));
+
+    TextTable table;
+    table.header({"Program", "ms", "nodes", "edges", "max-set", "passes",
+                  "tainted", "UVA", "UVA-cons", "fptr", "fptr-cons",
+                  "verified"});
+    size_t shrunk = 0;
+    for (const Row &row : rows) {
+        bool shrank = row.uvaGlobals < row.uvaGlobalsConservative ||
+                      row.fptrMap < row.fptrMapConservative;
+        shrunk += shrank ? 1 : 0;
+        table.row({row.id, fixed(row.analysisMs, 2),
+                   std::to_string(row.stats.nodes),
+                   std::to_string(row.stats.totalEdges),
+                   std::to_string(row.stats.maxSetSize),
+                   std::to_string(row.stats.iterations),
+                   std::to_string(row.taintedFns),
+                   std::to_string(row.uvaGlobals),
+                   std::to_string(row.uvaGlobalsConservative),
+                   std::to_string(row.fptrMap),
+                   std::to_string(row.fptrMapConservative),
+                   row.verified ? "yes" : "NO"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("points-to shrank the shipped set on %zu of %zu "
+                "programs\n\n",
+                shrunk, rows.size());
+
+    FILE *json = std::fopen("BENCH_analysis.json", "w");
+    NOL_ASSERT(json != nullptr, "cannot write BENCH_analysis.json");
+    std::fprintf(json, "{\n  \"programs\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        std::fprintf(
+            json,
+            "    {\"id\": \"%s\", \"analysis_ms\": %.3f, "
+            "\"pts_nodes\": %zu, \"pts_objects\": %zu, "
+            "\"pts_edges\": %zu, \"pts_max_set\": %zu, "
+            "\"pts_passes\": %zu, \"tainted_fns\": %zu, "
+            "\"uva_globals\": %zu, \"uva_globals_conservative\": %zu, "
+            "\"total_globals\": %zu, \"fptr_map\": %zu, "
+            "\"fptr_map_conservative\": %zu, \"diagnostics\": %zu, "
+            "\"verified\": %s}%s\n",
+            row.id.c_str(), row.analysisMs, row.stats.nodes,
+            row.stats.objects, row.stats.totalEdges, row.stats.maxSetSize,
+            row.stats.iterations, row.taintedFns, row.uvaGlobals,
+            row.uvaGlobalsConservative, row.totalGlobals, row.fptrMap,
+            row.fptrMapConservative, row.diagnostics,
+            row.verified ? "true" : "false", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_analysis.json\n");
+
+    // Any unverified partition is a bench failure: the shrink numbers
+    // only count on partitions the safety verifier accepts.
+    for (const Row &row : rows) {
+        if (!row.verified)
+            return 1;
+    }
+    return 0;
+}

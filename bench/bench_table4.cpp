@@ -45,17 +45,24 @@ main()
 
     // Offloaded/total function counts (the Table 4 "Offloaded Function"
     // column).
+    // "cons" columns: what the conservative address-taken treatment
+    // would ship; the points-to refinement keeps UVA globals and the
+    // fptr translation map at the smaller numbers.
     TextTable fns;
     fns.header({"Program", "Server fns kept", "Total fns",
-                "UVA globals", "Total globals", "Fn-ptr call sites"});
+                "UVA globals", "cons", "Total globals",
+                "Fn-ptr call sites", "Fptr map", "cons"});
     for (const WorkloadRuns &runs : sweep) {
         const auto &part = runs.program->compiled().partition;
         const auto &unify = runs.program->compiled().unifyStats;
         fns.row({runs.spec->id, std::to_string(part.serverFunctionsKept),
                  std::to_string(part.totalFunctions),
                  std::to_string(unify.uvaGlobals),
+                 std::to_string(unify.uvaGlobalsConservative),
                  std::to_string(unify.totalGlobals),
-                 std::to_string(part.functionPointerUses)});
+                 std::to_string(part.functionPointerUses),
+                 std::to_string(part.fptrMap.size()),
+                 std::to_string(part.fptrMapConservative)});
     }
     std::printf("%s", fns.render().c_str());
     return 0;

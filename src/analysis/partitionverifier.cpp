@@ -1,0 +1,234 @@
+#include "analysis/partitionverifier.hpp"
+
+#include <map>
+
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace nol::analysis {
+
+namespace {
+
+using support::DiagSeverity;
+using support::Diagnostic;
+using support::DiagnosticEngine;
+
+void
+checkStructural(const ir::Module &module, DiagnosticEngine &engine)
+{
+    for (const std::string &problem : ir::verifyModule(module)) {
+        Diagnostic &diag =
+            engine.report(DiagSeverity::Error, diag::kStructural,
+                          "module " + module.name() + ": " + problem);
+        diag.function = "";
+    }
+}
+
+/** Resolve the dispatch roots; reports target-missing for absentees. */
+std::vector<const ir::Function *>
+resolveTargets(const PartitionCheckInput &input, DiagnosticEngine &engine)
+{
+    std::vector<const ir::Function *> roots;
+    for (const std::string &name : input.targets) {
+        const ir::Function *fn = input.server->functionByName(name);
+        if (fn == nullptr || !fn->hasBody()) {
+            Diagnostic &diag = engine.report(
+                DiagSeverity::Error, diag::kTargetMissing,
+                "offload target @" + name +
+                    " has no body in the server module");
+            diag.function = name;
+            continue;
+        }
+        roots.push_back(fn);
+    }
+    return roots;
+}
+
+void
+checkMachineSpecific(const PartitionCheckInput &input,
+                     const PointsToResult &pts,
+                     const std::vector<const ir::Function *> &roots,
+                     DiagnosticEngine &engine)
+{
+    AttributeResult taint =
+        machineSpecificTaint(*input.server, pts, input.policy);
+    for (const ir::Function *root : roots) {
+        const TaintWitness *witness = taint.witness(root);
+        if (witness == nullptr)
+            continue;
+        Diagnostic &diag = engine.report(
+            DiagSeverity::Error, diag::kMachineSpecific,
+            "machine-specific instruction reachable from server dispatch "
+            "root @" + root->name() + ": " + witness->reason);
+        diag.function = root->name();
+        diag.instruction = ir::printInst(*witness->steps.back().inst);
+        diag.witness = witness->frames();
+    }
+}
+
+/** First instruction that makes a function reference each global. */
+struct GlobalRef {
+    const ir::Function *fn = nullptr;
+    const ir::Instruction *inst = nullptr;
+};
+
+void
+checkReferencedGlobals(const PointsToResult &pts,
+                       const std::vector<const ir::Function *> &roots,
+                       DiagnosticEngine &engine)
+{
+    PointsToResult::Reachable reach = pts.reachableFrom(roots);
+    std::map<const ir::GlobalVariable *, GlobalRef> referenced;
+    auto note = [&](const PtsSet &set, const ir::Function *fn,
+                    const ir::Instruction *inst) {
+        for (const MemObject &obj : set) {
+            if (obj.kind != MemObject::Kind::Global)
+                continue;
+            const auto *gv =
+                static_cast<const ir::GlobalVariable *>(obj.value);
+            referenced.emplace(gv, GlobalRef{fn, inst});
+        }
+    };
+    for (const ir::Function *fn : reach.fns) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                note(pts.pointsTo(inst.get()), fn, inst.get());
+                for (const ir::Value *op : inst->operands())
+                    note(pts.pointsTo(op), fn, inst.get());
+            }
+        }
+    }
+
+    for (const auto &[gv, ref] : referenced) {
+        if (gv->inUva())
+            continue;
+        Diagnostic &diag = engine.report(
+            DiagSeverity::Error, diag::kGlobalNotUva,
+            "global @" + gv->name() +
+                " is referenced by offloaded code but was not relocated "
+                "into the UVA region");
+        diag.function = ref.fn->name();
+        diag.instruction = ir::printInst(*ref.inst);
+        diag.witness = {"@" + ref.fn->name() + ": references global @" +
+                        gv->name() + " at '" + ir::printInst(*ref.inst) +
+                        "'"};
+    }
+}
+
+void
+checkFptrMap(const PartitionCheckInput &input, const PointsToResult &pts,
+             DiagnosticEngine &engine)
+{
+    std::set<std::string> needed;
+    bool any_indirect = false;
+    for (const auto &fn : input.server->functions()) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (inst->op() != ir::Opcode::CallIndirect)
+                    continue;
+                any_indirect = true;
+                PointsToResult::CalleeSet callees =
+                    pts.indirectCallees(inst.get());
+                std::set<const ir::Function *> targets = callees.fns;
+                if (!callees.complete) {
+                    // Unresolved pointer: any address-taken function
+                    // must be translatable.
+                    targets.insert(pts.addressTaken().begin(),
+                                   pts.addressTaken().end());
+                }
+                for (const ir::Function *target : targets) {
+                    needed.insert(target->name());
+                    if (input.fptrMap.count(target->name()) != 0)
+                        continue;
+                    Diagnostic &diag = engine.report(
+                        DiagSeverity::Error, diag::kFptrMapMissing,
+                        "function address @" + target->name() +
+                            " can flow to a server indirect call but is "
+                            "missing from the fptr map");
+                    diag.function = fn->name();
+                    diag.instruction = ir::printInst(*inst);
+                    diag.witness = {
+                        "@" + fn->name() + ": '" + ir::printInst(*inst) +
+                            "' may call @" + target->name(),
+                    };
+                }
+            }
+        }
+    }
+
+    for (const std::string &name : input.fptrMap) {
+        if (needed.count(name) != 0)
+            continue;
+        Diagnostic &diag = engine.report(
+            DiagSeverity::Warning, diag::kFptrMapExtra,
+            "fptr map entry @" + name +
+                (any_indirect
+                     ? " cannot flow to any server indirect call"
+                     : " is dead weight: the server has no indirect "
+                       "calls"));
+        diag.function = name;
+    }
+}
+
+void
+checkStackMarks(const PartitionCheckInput &input, DiagnosticEngine &engine)
+{
+    for (const auto &mob_fn : input.mobile->functions()) {
+        if (!mob_fn->hasBody())
+            continue;
+        const ir::Function *srv_fn =
+            input.server->functionByName(mob_fn->name());
+        if (srv_fn == nullptr || !srv_fn->hasBody())
+            continue; // stripped on the server side
+        // Clones share block/instruction structure; walk in lockstep.
+        size_t blocks = std::min(mob_fn->blocks().size(),
+                                 srv_fn->blocks().size());
+        for (size_t b = 0; b < blocks; ++b) {
+            const ir::BasicBlock &mbb = *mob_fn->blocks()[b];
+            const ir::BasicBlock &sbb = *srv_fn->blocks()[b];
+            size_t insts = std::min(mbb.size(), sbb.size());
+            for (size_t i = 0; i < insts; ++i) {
+                const ir::Instruction *mi = mbb.inst(i);
+                const ir::Instruction *si = sbb.inst(i);
+                if (mi->op() != ir::Opcode::Alloca ||
+                    si->op() != ir::Opcode::Alloca) {
+                    continue;
+                }
+                if (mi->uvaStack() == si->uvaStack())
+                    continue;
+                Diagnostic &diag = engine.report(
+                    DiagSeverity::Error, diag::kStackMarkMismatch,
+                    "stack-reallocation mark of '" + ir::printInst(*si) +
+                        "' in @" + mob_fn->name() +
+                        " differs between the mobile (" +
+                        (mi->uvaStack() ? "uva" : "local") +
+                        ") and server (" +
+                        (si->uvaStack() ? "uva" : "local") + ") clones");
+                diag.function = mob_fn->name();
+                diag.instruction = ir::printInst(*si);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+verifyPartition(const PartitionCheckInput &input, DiagnosticEngine &engine)
+{
+    NOL_ASSERT(input.mobile != nullptr && input.server != nullptr,
+               "verifyPartition needs both modules");
+    checkStructural(*input.mobile, engine);
+    checkStructural(*input.server, engine);
+
+    std::vector<const ir::Function *> roots =
+        resolveTargets(input, engine);
+
+    PointsToResult pts = analyzePointsTo(*input.server);
+    checkMachineSpecific(input, pts, roots, engine);
+    checkReferencedGlobals(pts, roots, engine);
+    checkFptrMap(input, pts, engine);
+    checkStackMarks(input, engine);
+}
+
+} // namespace nol::analysis

@@ -1,0 +1,403 @@
+#include "analysis/pointsto.hpp"
+
+#include "frontend/builtins.hpp"
+#include "ir/callgraph.hpp"
+#include "ir/printer.hpp"
+
+namespace nol::analysis {
+
+std::string
+MemObject::str() const
+{
+    switch (kind) {
+      case Kind::Global:
+        return "global @" + value->name();
+      case Kind::Function:
+        return "fn @" + value->name();
+      case Kind::Heap:
+        return "heap site '" +
+               ir::printInst(*static_cast<const ir::Instruction *>(value)) +
+               "'";
+      case Kind::Stack:
+        return "stack slot '" +
+               ir::printInst(*static_cast<const ir::Instruction *>(value)) +
+               "'";
+      case Kind::Unknown:
+        return "<unknown>";
+    }
+    return "<invalid>";
+}
+
+bool
+isAllocatorName(const std::string &name)
+{
+    return name == "malloc" || name == "calloc" || name == "realloc" ||
+           name == "u_malloc" || name == "u_calloc" || name == "u_realloc";
+}
+
+namespace {
+
+/** Builtins returning their first (destination) pointer argument. */
+bool
+returnsFirstArg(const std::string &name)
+{
+    return name == "memcpy" || name == "memmove" || name == "memset" ||
+           name == "strcpy" || name == "strncpy" || name == "strcat";
+}
+
+/** Builtins that may copy stored pointers from arg1's to arg0's object. */
+bool
+copiesContents(const std::string &name)
+{
+    return name == "memcpy" || name == "memmove";
+}
+
+} // namespace
+
+/** The worklist-free fixpoint solver (module-sized passes). */
+class PointsToSolver
+{
+  public:
+    explicit PointsToSolver(const ir::Module &module,
+                            PointsToResult &result)
+        : module_(module), result_(result)
+    {}
+
+    void
+    run()
+    {
+        seed();
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            ++result_.stats_.iterations;
+            for (const auto &fn : module_.functions()) {
+                for (const auto &bb : fn->blocks()) {
+                    for (const auto &inst : bb->insts())
+                        changed |= transfer(*fn, *inst);
+                }
+            }
+        }
+    }
+
+  private:
+    PtsSet &pts(const ir::Value *v) { return result_.pts_[v]; }
+    PtsSet &contents(const MemObject &obj) { return result_.contents_[obj]; }
+
+    /** dst ⊇ src; true if dst grew. */
+    static bool
+    addAll(PtsSet &dst, const PtsSet &src)
+    {
+        bool grew = false;
+        for (const MemObject &obj : src)
+            grew |= dst.insert(obj).second;
+        return grew;
+    }
+
+    static bool
+    add(PtsSet &dst, const MemObject &obj)
+    {
+        return dst.insert(obj).second;
+    }
+
+    void
+    seed()
+    {
+        // Using a global or a function as an operand yields its
+        // address; stored function pointers and global cross-references
+        // in initializers become object contents.
+        for (const auto &gv : module_.globals()) {
+            add(pts(gv.get()), MemObject::global(gv.get()));
+            seedInit(MemObject::global(gv.get()), gv->init());
+        }
+        for (const auto &fn : module_.functions())
+            add(pts(fn.get()), MemObject::function(fn.get()));
+    }
+
+    void
+    seedInit(const MemObject &obj, const ir::Initializer &init)
+    {
+        if (init.kind == ir::Initializer::Kind::Global &&
+            init.global != nullptr) {
+            add(contents(obj), MemObject::global(init.global));
+        }
+        if (init.kind == ir::Initializer::Kind::Function &&
+            init.function != nullptr) {
+            add(contents(obj), MemObject::function(init.function));
+        }
+        for (const auto &elem : init.elems)
+            seedInit(obj, elem);
+    }
+
+    bool
+    transfer(const ir::Function &fn, const ir::Instruction &inst)
+    {
+        (void)fn;
+        using Op = ir::Opcode;
+        switch (inst.op()) {
+          case Op::Alloca:
+            return add(pts(&inst), MemObject::stack(&inst));
+          case Op::Load: {
+            bool grew = false;
+            // Copy to tolerate pts(&inst) aliasing pts(op0) growth.
+            PtsSet addr = pts(inst.operand(0));
+            for (const MemObject &obj : addr) {
+                grew |= addAll(pts(&inst), contents(obj));
+                if (obj.isUnknown())
+                    grew |= add(pts(&inst), MemObject::unknown());
+            }
+            return grew;
+          }
+          case Op::Store: {
+            bool grew = false;
+            PtsSet addr = pts(inst.operand(1));
+            const PtsSet value = pts(inst.operand(0));
+            for (const MemObject &obj : addr)
+                grew |= addAll(contents(obj), value);
+            return grew;
+          }
+          case Op::FieldAddr:
+          case Op::IndexAddr:
+          case Op::Bitcast:
+          case Op::PtrToInt:
+          case Op::IntToPtr:
+          case Op::Trunc:
+          case Op::ZExt:
+          case Op::SExt:
+            // Field-insensitive: derived addresses and int round trips
+            // keep pointing at the base object.
+            return addAll(pts(&inst), pts(inst.operand(0)));
+          case Op::Add:
+          case Op::Sub: {
+            // Pointer arithmetic through integers (p2i + offset).
+            bool grew = addAll(pts(&inst), pts(inst.operand(0)));
+            grew |= addAll(pts(&inst), pts(inst.operand(1)));
+            return grew;
+          }
+          case Op::Select: {
+            bool grew = addAll(pts(&inst), pts(inst.operand(1)));
+            grew |= addAll(pts(&inst), pts(inst.operand(2)));
+            return grew;
+          }
+          case Op::Call:
+            return transferCall(inst, inst.callee(), /*first_arg=*/0);
+          case Op::CallIndirect:
+            return transferIndirect(inst);
+          default:
+            return false;
+        }
+    }
+
+    /** Wire one (possibly resolved-indirect) call to @p callee. */
+    bool
+    transferCall(const ir::Instruction &inst, const ir::Function *callee,
+                 size_t first_arg)
+    {
+        if (callee == nullptr)
+            return false;
+        if (!callee->hasBody())
+            return transferExternal(inst, *callee, first_arg);
+
+        bool grew = false;
+        // Arguments flow into parameters.
+        size_t nargs = inst.numOperands() - first_arg;
+        for (size_t i = 0; i < std::min(nargs, callee->numArgs()); ++i) {
+            grew |= addAll(pts(callee->arg(i)),
+                           pts(inst.operand(first_arg + i)));
+        }
+        // Return values flow back into the call.
+        for (const auto &bb : callee->blocks()) {
+            for (const auto &ret : bb->insts()) {
+                if (ret->op() == ir::Opcode::Ret && ret->numOperands() == 1)
+                    grew |= addAll(pts(&inst), pts(ret->operand(0)));
+            }
+        }
+        return grew;
+    }
+
+    bool
+    transferExternal(const ir::Instruction &inst, const ir::Function &callee,
+                     size_t first_arg)
+    {
+        const std::string &name = callee.name();
+        if (isAllocatorName(name)) {
+            bool grew = add(pts(&inst), MemObject::heap(&inst));
+            if (name == "realloc" || name == "u_realloc") {
+                // The new block inherits pointers stored in the old.
+                PtsSet old = pts(inst.operand(first_arg));
+                for (const MemObject &obj : old) {
+                    grew |= addAll(contents(MemObject::heap(&inst)),
+                                   contents(obj));
+                }
+            }
+            return grew;
+        }
+        if (returnsFirstArg(name)) {
+            bool grew = addAll(pts(&inst), pts(inst.operand(first_arg)));
+            if (copiesContents(name) && inst.numOperands() > first_arg + 1) {
+                PtsSet dst = pts(inst.operand(first_arg));
+                PtsSet src = pts(inst.operand(first_arg + 1));
+                for (const MemObject &dobj : dst) {
+                    for (const MemObject &sobj : src)
+                        grew |= addAll(contents(dobj), contents(sobj));
+                }
+            }
+            return grew;
+        }
+        if (frontend::isBuiltin(name) || name == "u_free" ||
+            name == "__machine_asm" || name == "__syscall") {
+            // Known library routine: never stores pointers into user
+            // memory and never returns one we must track.
+            return false;
+        }
+        // Unknown external: everything reachable from the arguments
+        // escapes, and the return value is untracked.
+        bool grew = add(pts(&inst), MemObject::unknown());
+        for (size_t i = first_arg; i < inst.numOperands(); ++i) {
+            const PtsSet arg = pts(inst.operand(i));
+            grew |= addAll(contents(MemObject::unknown()), arg);
+            for (const MemObject &obj : arg)
+                grew |= add(contents(obj), MemObject::unknown());
+        }
+        return grew;
+    }
+
+    bool
+    transferIndirect(const ir::Instruction &inst)
+    {
+        bool grew = false;
+        PtsSet fn_ptrs = pts(inst.operand(0));
+        for (const MemObject &obj : fn_ptrs) {
+            if (obj.kind == MemObject::Kind::Function) {
+                grew |= transferCall(
+                    inst, static_cast<const ir::Function *>(obj.value),
+                    /*first_arg=*/1);
+            } else if (obj.isUnknown()) {
+                // Unresolvable target: the call may do anything.
+                grew |= add(pts(&inst), MemObject::unknown());
+                for (size_t i = 1; i < inst.numOperands(); ++i) {
+                    grew |= addAll(contents(MemObject::unknown()),
+                                   pts(inst.operand(i)));
+                }
+            }
+        }
+        return grew;
+    }
+
+    const ir::Module &module_;
+    PointsToResult &result_;
+};
+
+const PtsSet &
+PointsToResult::pointsTo(const ir::Value *v) const
+{
+    auto it = pts_.find(v);
+    return it == pts_.end() ? empty_ : it->second;
+}
+
+const PtsSet &
+PointsToResult::contents(const MemObject &obj) const
+{
+    auto it = contents_.find(obj);
+    return it == contents_.end() ? empty_ : it->second;
+}
+
+PointsToResult::CalleeSet
+PointsToResult::indirectCallees(const ir::Instruction *site) const
+{
+    NOL_ASSERT(site->op() == ir::Opcode::CallIndirect,
+               "indirectCallees on non-indirect call '%s'",
+               ir::printInst(*site).c_str());
+    CalleeSet out;
+    for (const MemObject &obj : pointsTo(site->operand(0))) {
+        if (obj.kind == MemObject::Kind::Function)
+            out.fns.insert(static_cast<const ir::Function *>(obj.value));
+        else
+            out.complete = false;
+    }
+    return out;
+}
+
+const PointsToResult::FunctionCallees &
+PointsToResult::callees(const ir::Function *fn) const
+{
+    auto it = fn_callees_.find(fn);
+    return it == fn_callees_.end() ? empty_callees_ : it->second;
+}
+
+PointsToResult::Reachable
+PointsToResult::reachableFrom(
+    const std::vector<const ir::Function *> &roots) const
+{
+    Reachable out;
+    std::vector<const ir::Function *> work(roots.begin(), roots.end());
+    bool fallback_applied = false;
+    while (!work.empty()) {
+        const ir::Function *fn = work.back();
+        work.pop_back();
+        if (!out.fns.insert(fn).second)
+            continue;
+        const FunctionCallees &cs = callees(fn);
+        for (const ir::Function *callee : cs.fns)
+            work.push_back(callee);
+        if (!cs.complete && !fallback_applied) {
+            // An unresolved indirect call may reach any address-taken
+            // function (the paper's conservative rule).
+            fallback_applied = true;
+            out.precise = false;
+            for (const ir::Function *target : address_taken_)
+                work.push_back(target);
+        }
+    }
+    return out;
+}
+
+PointsToResult
+analyzePointsTo(const ir::Module &module)
+{
+    PointsToResult result;
+    PointsToSolver(module, result).run();
+
+    // Conservative fallback universe (includes initializer escapes).
+    ir::CallGraph cg(module);
+    for (const ir::Function *fn : cg.addressTaken())
+        result.address_taken_.insert(fn);
+
+    // Per-function callee sets over resolved edges.
+    for (const auto &fn : module.functions()) {
+        PointsToResult::FunctionCallees &cs = result.fn_callees_[fn.get()];
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (inst->op() == ir::Opcode::Call &&
+                    inst->callee() != nullptr) {
+                    cs.fns.insert(inst->callee());
+                } else if (inst->op() == ir::Opcode::CallIndirect) {
+                    PointsToResult::CalleeSet site =
+                        result.indirectCallees(inst.get());
+                    cs.fns.insert(site.fns.begin(), site.fns.end());
+                    cs.complete &= site.complete;
+                }
+            }
+        }
+    }
+
+    // Statistics.
+    std::set<MemObject> objects;
+    for (const auto &[value, set] : result.pts_) {
+        (void)value;
+        ++result.stats_.nodes;
+        result.stats_.totalEdges += set.size();
+        result.stats_.maxSetSize =
+            std::max(result.stats_.maxSetSize, set.size());
+        objects.insert(set.begin(), set.end());
+    }
+    for (const auto &[obj, set] : result.contents_) {
+        objects.insert(obj);
+        result.stats_.totalEdges += set.size();
+        objects.insert(set.begin(), set.end());
+    }
+    result.stats_.objects = objects.size();
+    return result;
+}
+
+} // namespace nol::analysis

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Flow-insensitive, field-insensitive Andersen-style points-to
+ * analysis over the offloading IR, with call-graph-driven
+ * interprocedural propagation (indirect call edges are resolved from
+ * the function-pointer sets as they grow).
+ *
+ * Abstract memory objects are globals, functions, heap allocation
+ * sites (one per malloc/u_malloc-family call) and stack slots (one per
+ * alloca). A distinguished Unknown object models values the analysis
+ * cannot track (returns of unmodeled externals, loads through Unknown);
+ * its presence in a set makes the consumer fall back to the paper's
+ * conservative treatment.
+ *
+ * Consumers: the function filter (precise indirect-call taint with
+ * witnesses), the memory unifier (shrinking the referenced-global set,
+ * paper Sec. 3.2), the partitioner (shrinking the function-pointer
+ * map, Sec. 3.4) and the post-partition offload-safety verifier.
+ */
+#ifndef NOL_ANALYSIS_POINTSTO_HPP
+#define NOL_ANALYSIS_POINTSTO_HPP
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace nol::analysis {
+
+class PointsToSolver;
+
+/** One abstract memory object. */
+struct MemObject {
+    enum class Kind {
+        Global,   ///< a GlobalVariable
+        Function, ///< a Function (code address)
+        Heap,     ///< one allocation site (the allocator call inst)
+        Stack,    ///< one alloca instruction
+        Unknown,  ///< anything the analysis cannot model
+    };
+
+    Kind kind = Kind::Unknown;
+    const ir::Value *value = nullptr; ///< null for Unknown
+
+    bool operator<(const MemObject &o) const
+    {
+        return kind != o.kind ? kind < o.kind : value < o.value;
+    }
+    bool operator==(const MemObject &o) const
+    {
+        return kind == o.kind && value == o.value;
+    }
+
+    bool isUnknown() const { return kind == Kind::Unknown; }
+
+    /** "global @board", "fn @evalPawn", "heap site 'call @malloc...'". */
+    std::string str() const;
+
+    static MemObject unknown() { return {}; }
+    static MemObject global(const ir::GlobalVariable *gv)
+    {
+        return {Kind::Global, gv};
+    }
+    static MemObject function(const ir::Function *fn)
+    {
+        return {Kind::Function, fn};
+    }
+    static MemObject heap(const ir::Instruction *site)
+    {
+        return {Kind::Heap, site};
+    }
+    static MemObject stack(const ir::Instruction *slot)
+    {
+        return {Kind::Stack, slot};
+    }
+};
+
+/** A may-point-to set. */
+using PtsSet = std::set<MemObject>;
+
+/** Solver statistics (reported by bench_analysis). */
+struct PointsToStats {
+    size_t nodes = 0;       ///< values with a (possibly empty) set
+    size_t objects = 0;     ///< distinct abstract objects
+    size_t totalEdges = 0;  ///< sum of all set sizes
+    size_t maxSetSize = 0;  ///< largest single set
+    size_t iterations = 0;  ///< fixpoint passes over the module
+};
+
+/** Immutable result of one points-to run over one module. */
+class PointsToResult
+{
+  public:
+    /** May-point-to set of @p v (empty for untracked values). */
+    const PtsSet &pointsTo(const ir::Value *v) const;
+
+    /** May-point-to set of the pointers stored inside @p obj. */
+    const PtsSet &contents(const MemObject &obj) const;
+
+    /** Every object with recorded contents (escape analysis walks
+     *  this to find stack slots whose address was stored somewhere). */
+    const std::map<MemObject, PtsSet> &allContents() const
+    {
+        return contents_;
+    }
+
+    /** Resolved targets of one indirect call site. */
+    struct CalleeSet {
+        std::set<const ir::Function *> fns;
+        /** False if the pointer may hold values the analysis lost
+         *  track of — the consumer must fall back to "any
+         *  address-taken function". */
+        bool complete = true;
+    };
+
+    /** Targets of CallIndirect @p site (must be a CallIndirect). */
+    CalleeSet indirectCallees(const ir::Instruction *site) const;
+
+    /** Direct + resolved-indirect callees of @p fn (defined and
+     *  external); complete=false if any indirect site in @p fn is
+     *  unresolved. */
+    struct FunctionCallees {
+        std::set<const ir::Function *> fns;
+        bool complete = true;
+    };
+    const FunctionCallees &callees(const ir::Function *fn) const;
+
+    /** Address-taken functions (the conservative fallback universe). */
+    const std::set<const ir::Function *> &addressTaken() const
+    {
+        return address_taken_;
+    }
+
+    /** Functions reachable from @p roots over resolved call edges. */
+    struct Reachable {
+        std::set<const ir::Function *> fns;
+        /** False if an unresolved indirect call was reachable and the
+         *  address-taken fallback was applied. */
+        bool precise = true;
+    };
+    Reachable reachableFrom(const std::vector<const ir::Function *> &roots) const;
+
+    const PointsToStats &stats() const { return stats_; }
+
+  private:
+    friend class PointsToSolver;
+    friend PointsToResult analyzePointsTo(const ir::Module &module);
+
+    std::map<const ir::Value *, PtsSet> pts_;
+    std::map<MemObject, PtsSet> contents_;
+    std::map<const ir::Function *, FunctionCallees> fn_callees_;
+    std::set<const ir::Function *> address_taken_;
+    PointsToStats stats_;
+    PtsSet empty_;
+    FunctionCallees empty_callees_;
+};
+
+/** Run the analysis on @p module. */
+PointsToResult analyzePointsTo(const ir::Module &module);
+
+/** True if @p name is a heap-allocator entry point the analysis models
+ *  as a fresh allocation site (malloc family and its u_* UVA twins). */
+bool isAllocatorName(const std::string &name);
+
+} // namespace nol::analysis
+
+#endif // NOL_ANALYSIS_POINTSTO_HPP

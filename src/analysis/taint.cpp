@@ -1,0 +1,293 @@
+#include "analysis/taint.hpp"
+
+#include "frontend/builtins.hpp"
+#include "ir/printer.hpp"
+
+namespace nol::analysis {
+
+namespace {
+
+/** Remote-capable output and file-stream builtins (paper Sec. 3.4:
+ *  outputs are cheap one-way; file streams support remote input because
+ *  data can be prefetched and amortized). */
+const std::set<std::string> kRemoteIo = {
+    "printf", "puts",  "putchar", "fopen", "fclose", "fread",
+    "fwrite", "fgetc", "fputc",   "feof",  "fseek",  "ftell",
+};
+
+/** Interactive input builtins: a round trip to the user; never remote. */
+const std::set<std::string> kInteractiveIo = {
+    "scanf",
+    "getchar",
+};
+
+/** Strip the server-side "r_" prefix if the rest is remotable I/O. */
+std::string
+stripRemotePrefix(const std::string &name)
+{
+    if (name.size() > 2 && name.compare(0, 2, "r_") == 0 &&
+        kRemoteIo.count(name.substr(2)) != 0) {
+        return name.substr(2);
+    }
+    return name;
+}
+
+} // namespace
+
+bool
+isRemoteIoName(const std::string &name)
+{
+    return kRemoteIo.count(name) != 0;
+}
+
+bool
+isInteractiveIoName(const std::string &name)
+{
+    return kInteractiveIo.count(name) != 0;
+}
+
+std::string
+instructionTaint(const ir::Instruction &inst, const TaintPolicy &policy,
+                 const PointsToResult &pts)
+{
+    if (inst.op() == ir::Opcode::MachineAsm)
+        return "assembly instruction";
+    if (inst.op() == ir::Opcode::CallIndirect) {
+        // Classified through points-to: a fully resolved callee set is
+        // clean here (any target taint reaches the caller through
+        // propagation); losing track of the pointer is conservatively
+        // machine specific.
+        PointsToResult::CalleeSet callees = pts.indirectCallees(&inst);
+        if (!callees.complete)
+            return "indirect call with unresolved targets";
+        return "";
+    }
+    if (inst.op() != ir::Opcode::Call)
+        return "";
+    const ir::Function *callee = inst.callee();
+    if (callee == nullptr)
+        return "call with no callee";
+    if (!callee->isExternal())
+        return "";
+    std::string name = callee->name();
+    if (policy.allowRuntimeNames) {
+        if (isAllocatorName(name) || name == "u_free")
+            return ""; // UVA allocator twins (post-unification modules)
+        name = stripRemotePrefix(name);
+    }
+    if (name == "__machine_asm")
+        return "assembly instruction";
+    if (name == "__syscall" || name == "exit")
+        return "system call";
+    if (kInteractiveIo.count(name))
+        return "interactive I/O (" + name + ")";
+    if (kRemoteIo.count(name)) {
+        if (policy.remoteIoEnabled)
+            return ""; // remotely executable (Sec. 3.4)
+        return "I/O instruction (" + name + ")";
+    }
+    if (frontend::isBuiltin(name))
+        return ""; // known side-effect-free library call
+    return "unknown external library call (" + name + ")";
+}
+
+std::vector<std::string>
+TaintWitness::frames() const
+{
+    std::vector<std::string> out;
+    for (size_t i = 0; i < steps.size(); ++i) {
+        const TaintStep &step = steps[i];
+        std::string frame = "@" + step.fn->name() + ": ";
+        if (i + 1 == steps.size()) {
+            frame += "'";
+            frame += ir::printInst(*step.inst);
+            frame += "': ";
+            frame += step.note;
+        } else {
+            frame += step.note;
+            frame += " at '";
+            frame += ir::printInst(*step.inst);
+            frame += "'";
+        }
+        out.push_back(std::move(frame));
+    }
+    return out;
+}
+
+std::string
+TaintWitness::str() const
+{
+    std::string out;
+    for (const std::string &frame : frames()) {
+        if (!out.empty())
+            out += "; ";
+        out += frame;
+    }
+    return out;
+}
+
+const TaintWitness *
+AttributeResult::witness(const ir::Function *fn) const
+{
+    auto it = witnesses_.find(fn);
+    return it == witnesses_.end() ? nullptr : &it->second;
+}
+
+const std::set<const ir::BasicBlock *> &
+AttributeResult::blocks(const ir::Function *fn) const
+{
+    auto it = blocks_.find(fn);
+    return it == blocks_.end() ? empty_blocks_ : it->second;
+}
+
+AttributeResult
+propagateAttribute(
+    const ir::Module &module, const PointsToResult &pts,
+    const std::function<std::string(const ir::Function &,
+                                    const ir::Instruction &)> &seed)
+{
+    AttributeResult result;
+
+    // Pass 1: per-instruction seeds.
+    for (const auto &fn : module.functions()) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                std::string why = seed(*fn, *inst);
+                if (why.empty())
+                    continue;
+                result.blocks_[fn.get()].insert(bb.get());
+                if (result.witnesses_.count(fn.get()) != 0)
+                    continue;
+                TaintWitness witness;
+                witness.reason = why;
+                witness.steps.push_back({fn.get(), inst.get(), why});
+                result.witnesses_.emplace(fn.get(), std::move(witness));
+                result.members_.insert(fn.get());
+            }
+        }
+    }
+
+    // The conservative universe for unresolved indirect sites.
+    std::set<const ir::Function *> addr_taken_defined;
+    for (const ir::Function *fn : pts.addressTaken()) {
+        if (fn->hasBody())
+            addr_taken_defined.insert(fn);
+    }
+
+    // Per-site callee sets (direct callee, resolved indirect targets,
+    // or the address-taken fallback when a site is unresolved).
+    auto site_callees =
+        [&](const ir::Instruction &inst,
+            bool &indirect) -> std::set<const ir::Function *> {
+        indirect = false;
+        if (inst.op() == ir::Opcode::Call) {
+            if (inst.callee() != nullptr && inst.callee()->hasBody())
+                return {inst.callee()};
+            return {};
+        }
+        if (inst.op() != ir::Opcode::CallIndirect)
+            return {};
+        indirect = true;
+        PointsToResult::CalleeSet cs = pts.indirectCallees(&inst);
+        if (!cs.complete)
+            return addr_taken_defined;
+        std::set<const ir::Function *> defined;
+        for (const ir::Function *target : cs.fns) {
+            if (target->hasBody())
+                defined.insert(target);
+        }
+        return defined;
+    };
+
+    // Pass 2: bottom-up fixpoint over resolved call edges.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &fn : module.functions()) {
+            if (result.witnesses_.count(fn.get()) != 0)
+                continue;
+            for (const auto &bb : fn->blocks()) {
+                for (const auto &inst : bb->insts()) {
+                    bool indirect = false;
+                    for (const ir::Function *callee :
+                         site_callees(*inst, indirect)) {
+                        auto it = result.witnesses_.find(callee);
+                        if (it == result.witnesses_.end())
+                            continue;
+                        TaintWitness witness;
+                        witness.reason = it->second.reason;
+                        witness.steps.push_back(
+                            {fn.get(), inst.get(),
+                             (indirect ? "may reach @" : "calls @") +
+                                 callee->name()});
+                        witness.steps.insert(witness.steps.end(),
+                                             it->second.steps.begin(),
+                                             it->second.steps.end());
+                        result.witnesses_.emplace(fn.get(),
+                                                  std::move(witness));
+                        result.members_.insert(fn.get());
+                        changed = true;
+                        break;
+                    }
+                    if (result.witnesses_.count(fn.get()) != 0)
+                        break;
+                }
+                if (result.witnesses_.count(fn.get()) != 0)
+                    break;
+            }
+        }
+    }
+
+    // Pass 3: block-level marks for call sites reaching members (the
+    // loop filter needs per-block verdicts inside untainted callers
+    // too, e.g. a loop around a call to a tainted helper).
+    for (const auto &fn : module.functions()) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                bool indirect = false;
+                for (const ir::Function *callee :
+                     site_callees(*inst, indirect)) {
+                    if (result.members_.count(callee) != 0) {
+                        result.blocks_[fn.get()].insert(bb.get());
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    return result;
+}
+
+AttributeResult
+machineSpecificTaint(const ir::Module &module, const PointsToResult &pts,
+                     const TaintPolicy &policy)
+{
+    return propagateAttribute(
+        module, pts,
+        [&](const ir::Function &fn, const ir::Instruction &inst) {
+            (void)fn;
+            return instructionTaint(inst, policy, pts);
+        });
+}
+
+AttributeResult
+remoteIoUse(const ir::Module &module, const PointsToResult &pts)
+{
+    return propagateAttribute(
+        module, pts,
+        [](const ir::Function &fn,
+           const ir::Instruction &inst) -> std::string {
+            (void)fn;
+            if (inst.op() != ir::Opcode::Call || inst.callee() == nullptr)
+                return "";
+            const ir::Function *callee = inst.callee();
+            if (!callee->isExternal())
+                return "";
+            if (isRemoteIoName(callee->name()))
+                return "remote I/O (" + callee->name() + ")";
+            return "";
+        });
+}
+
+} // namespace nol::analysis

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Generic forward attribute lattice over the points-to-resolved call
+ * graph: a boolean attribute is seeded on individual instructions
+ * (each seed carries a reason) and propagated to (transitive) callers,
+ * recording a per-function *witness* — the call chain from the
+ * function down to the seeding instruction. The function filter's
+ * machine-specificity taint (paper Sec. 3.1) and remote-I/O use (Sec.
+ * 3.4) are both instances; the offload-safety verifier re-runs the
+ * machine-specificity instance on the partitioned server module.
+ */
+#ifndef NOL_ANALYSIS_TAINT_HPP
+#define NOL_ANALYSIS_TAINT_HPP
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/pointsto.hpp"
+#include "ir/module.hpp"
+
+namespace nol::analysis {
+
+/** Policy knobs of the machine-specificity classification. */
+struct TaintPolicy {
+    /** Remotable I/O builtins stay offloadable (paper Sec. 3.4). */
+    bool remoteIoEnabled = true;
+    /** Accept post-partition runtime names — r_* remote I/O twins and
+     *  u_* UVA allocators — as machine independent (the verifier runs
+     *  on partitioned modules where these replaced the originals). */
+    bool allowRuntimeNames = true;
+};
+
+/** True if builtin @p name is remotely executable I/O. */
+bool isRemoteIoName(const std::string &name);
+
+/** True if builtin @p name is interactive (never remotable) I/O. */
+bool isInteractiveIoName(const std::string &name);
+
+/**
+ * Why @p inst is machine specific by itself; "" if it is not. Indirect
+ * calls are classified through @p pts: a fully resolved callee set is
+ * clean here (taint reaches the caller through propagation), an
+ * unresolved one is conservatively machine specific.
+ */
+std::string instructionTaint(const ir::Instruction &inst,
+                             const TaintPolicy &policy,
+                             const PointsToResult &pts);
+
+/** One frame of a witness chain. */
+struct TaintStep {
+    const ir::Function *fn = nullptr;
+    const ir::Instruction *inst = nullptr; ///< call site or seed inst
+    std::string note; ///< "calls @x" / "may reach @x" / seed reason
+};
+
+/** Call chain from a function down to the instruction that gives it
+ *  the attribute; steps[0] is the function itself, the last step is
+ *  the seeding instruction. */
+struct TaintWitness {
+    std::vector<TaintStep> steps;
+    std::string reason; ///< the seed reason
+
+    /** One rendered frame per line, outermost first. */
+    std::vector<std::string> frames() const;
+
+    /** Single-line rendering ("@a: calls @b; @b: <inst>: reason"). */
+    std::string str() const;
+};
+
+/** Result of one attribute propagation. */
+class AttributeResult
+{
+  public:
+    bool has(const ir::Function *fn) const
+    {
+        return witnesses_.count(fn) != 0;
+    }
+
+    /** Witness for @p fn, or nullptr if the attribute does not hold. */
+    const TaintWitness *witness(const ir::Function *fn) const;
+
+    const std::set<const ir::Function *> &members() const
+    {
+        return members_;
+    }
+
+    /** Blocks of @p fn containing an attribute-carrying instruction
+     *  (a seed, or a call whose resolved callee set intersects the
+     *  attribute set) — per-function loop-level precision. */
+    const std::set<const ir::BasicBlock *> &blocks(const ir::Function *fn) const;
+
+  private:
+    friend AttributeResult propagateAttribute(
+        const ir::Module &,
+        const PointsToResult &,
+        const std::function<std::string(const ir::Function &,
+                                        const ir::Instruction &)> &);
+
+    std::map<const ir::Function *, TaintWitness> witnesses_;
+    std::set<const ir::Function *> members_;
+    std::map<const ir::Function *, std::set<const ir::BasicBlock *>> blocks_;
+    std::set<const ir::BasicBlock *> empty_blocks_;
+};
+
+/**
+ * Propagate the attribute seeded by @p seed (non-empty reason ⇒ the
+ * instruction carries it) bottom-up over direct and resolved-indirect
+ * call edges of @p module. Unresolved indirect sites propagate from
+ * every address-taken function, mirroring the conservative call graph.
+ */
+AttributeResult propagateAttribute(
+    const ir::Module &module, const PointsToResult &pts,
+    const std::function<std::string(const ir::Function &,
+                                    const ir::Instruction &)> &seed);
+
+/** The machine-specificity instance (function filter / verifier). */
+AttributeResult machineSpecificTaint(const ir::Module &module,
+                                     const PointsToResult &pts,
+                                     const TaintPolicy &policy);
+
+/** The remote-I/O-use instance (paper Sec. 3.4 bookkeeping). */
+AttributeResult remoteIoUse(const ir::Module &module,
+                            const PointsToResult &pts);
+
+} // namespace nol::analysis
+
+#endif // NOL_ANALYSIS_TAINT_HPP

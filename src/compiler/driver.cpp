@@ -1,5 +1,6 @@
 #include "compiler/driver.hpp"
 
+#include "analysis/partitionverifier.hpp"
 #include "ir/callgraph.hpp"
 #include "support/logging.hpp"
 
@@ -41,8 +42,7 @@ compileForOffload(std::unique_ptr<ir::Module> module,
     // 2-3. Filter machine-specific tasks, estimate, select targets.
     {
         ir::CallGraph cg(*module);
-        FilterResult filter =
-            runFunctionFilter(*module, cg, options.filter);
+        FilterResult filter = runFunctionFilter(*module, options.filter);
         out.selection = selectTargets(*module, out.profile, filter, cg,
                                       out.estimatorParams);
     }
@@ -59,6 +59,20 @@ compileForOffload(std::unique_ptr<ir::Module> module,
 
     out.unified = std::move(module);
     return out;
+}
+
+support::DiagnosticEngine
+verifyOffloadSafety(const CompiledProgram &prog)
+{
+    support::DiagnosticEngine engine;
+    analysis::PartitionCheckInput input;
+    input.mobile = prog.partition.mobileModule.get();
+    input.server = prog.partition.serverModule.get();
+    for (const PartitionedTarget &target : prog.partition.targets)
+        input.targets.push_back(target.name);
+    input.fptrMap = prog.partition.fptrMap;
+    analysis::verifyPartition(input, engine);
+    return engine;
 }
 
 } // namespace nol::compiler

@@ -15,6 +15,7 @@
 #include "compiler/partitioner.hpp"
 #include "compiler/targetselector.hpp"
 #include "profile/profiler.hpp"
+#include "support/diagnostic.hpp"
 
 namespace nol::compiler {
 
@@ -54,6 +55,16 @@ struct CompiledProgram {
  */
 CompiledProgram compileForOffload(std::unique_ptr<ir::Module> module,
                                   const CompileOptions &options);
+
+/**
+ * Offload-safety verification: statically prove, on the partitioned
+ * module pair of @p prog, the invariants the runtime silently relies
+ * on (no machine-specific instruction reachable from server dispatch,
+ * every referenced global relocated into UVA, the function-pointer map
+ * closed over address flows, consistent stack-reallocation marks).
+ * An engine without errors means the partition is safe to ship.
+ */
+support::DiagnosticEngine verifyOffloadSafety(const CompiledProgram &prog);
 
 } // namespace nol::compiler
 

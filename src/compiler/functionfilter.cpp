@@ -1,174 +1,57 @@
 #include "compiler/functionfilter.hpp"
 
-#include <vector>
-
-#include "frontend/builtins.hpp"
-
 namespace nol::compiler {
-
-namespace {
-
-/** Remote-capable output and file-stream builtins (paper Sec. 3.4:
- *  outputs are cheap one-way; file streams support remote input because
- *  data can be prefetched and amortized). */
-const std::set<std::string> kRemoteIo = {
-    "printf", "puts",  "putchar", "fopen", "fclose", "fread",
-    "fwrite", "fgetc", "fputc",   "feof",  "fseek",  "ftell",
-};
-
-/** Interactive input builtins: a round trip to the user; never remote. */
-const std::set<std::string> kInteractiveIo = {
-    "scanf",
-    "getchar",
-};
-
-/** Why a direct instruction taints, or "" if it does not. */
-std::string
-directTaintReason(const ir::Instruction &inst, const FilterConfig &config)
-{
-    if (inst.op() == ir::Opcode::MachineAsm)
-        return "assembly instruction";
-    if (inst.op() != ir::Opcode::Call)
-        return "";
-    const ir::Function *callee = inst.callee();
-    if (!callee->isExternal())
-        return "";
-    const std::string &name = callee->name();
-    if (name == "__machine_asm")
-        return "assembly instruction";
-    if (name == "__syscall" || name == "exit")
-        return "system call";
-    if (kInteractiveIo.count(name))
-        return "interactive I/O (" + name + ")";
-    if (kRemoteIo.count(name)) {
-        if (config.remoteIoEnabled)
-            return ""; // remotely executable (Sec. 3.4)
-        return "I/O instruction (" + name + ")";
-    }
-    if (frontend::isBuiltin(name))
-        return ""; // known side-effect-free library call
-    return "unknown external library call (" + name + ")";
-}
-
-} // namespace
 
 bool
 isRemoteIoCapable(const std::string &name)
 {
-    return kRemoteIo.count(name) != 0;
+    return analysis::isRemoteIoName(name);
 }
 
 bool
 isInteractiveIo(const std::string &name)
 {
-    return kInteractiveIo.count(name) != 0;
+    return analysis::isInteractiveIoName(name);
 }
 
 std::string
 FilterResult::reason(const ir::Function *fn) const
 {
-    auto it = reasons_.find(fn);
-    return it == reasons_.end() ? "" : it->second;
+    const analysis::TaintWitness *witness = taint_.witness(fn);
+    if (witness == nullptr)
+        return "";
+    if (witness->steps.size() == 1)
+        return witness->reason;
+    // Propagated: lead with the first call edge, end with the seed.
+    return witness->steps.front().note + ": " + witness->reason;
 }
 
 bool
 FilterResult::loopIsMachineSpecific(const ir::Function *fn,
                                     const ir::LoopMeta &loop) const
 {
-    (void)fn;
+    const std::set<const ir::BasicBlock *> &tainted_blocks =
+        taint_.blocks(fn);
     for (const ir::BasicBlock *bb : loop.blocks) {
-        if (tainted_blocks_.count(fn) != 0 &&
-            tainted_blocks_.at(fn).count(bb) != 0) {
+        if (tainted_blocks.count(bb) != 0)
             return true;
-        }
-        for (const auto &inst : bb->insts()) {
-            if (inst->op() == ir::Opcode::Call &&
-                tainted_.count(inst->callee()) != 0) {
-                return true;
-            }
-            // An indirect call inside the loop may reach any
-            // address-taken function; conservatively, the caller's
-            // whole-function verdict covers that case (the function
-            // itself is tainted when an indirect target is).
-        }
     }
     return false;
 }
 
 FilterResult
-runFunctionFilter(const ir::Module &module, const ir::CallGraph &cg,
-                  const FilterConfig &config)
+runFunctionFilter(const ir::Module &module, const FilterConfig &config)
 {
+    analysis::TaintPolicy policy;
+    policy.remoteIoEnabled = config.remoteIoEnabled;
+    // Pre-partition modules carry the original builtin names; the r_*/
+    // u_* runtime twins only appear after unification/partitioning.
+    policy.allowRuntimeNames = false;
+
+    analysis::PointsToResult pts = analysis::analyzePointsTo(module);
     FilterResult result;
-
-    // Pass 1: direct taints and remote-I/O use.
-    for (const auto &fn : module.functions()) {
-        if (!fn->hasBody())
-            continue;
-        for (const auto &bb : fn->blocks()) {
-            for (const auto &inst : bb->insts()) {
-                std::string why = directTaintReason(*inst, config);
-                if (!why.empty()) {
-                    result.direct_tainted_.insert(fn.get());
-                    result.tainted_.insert(fn.get());
-                    result.reasons_.emplace(fn.get(), why);
-                    result.tainted_blocks_[fn.get()].insert(bb.get());
-                }
-                if (inst->op() == ir::Opcode::Call &&
-                    inst->callee()->isExternal() &&
-                    kRemoteIo.count(inst->callee()->name())) {
-                    result.remote_io_users_.insert(fn.get());
-                }
-            }
-        }
-    }
-
-    // Pass 2: propagate taint and remote-I/O use up the call graph,
-    // treating indirect calls as possible calls to any address-taken
-    // function.
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (const auto &fn : module.functions()) {
-            if (!fn->hasBody())
-                continue;
-            bool tainted = result.tainted_.count(fn.get()) != 0;
-            bool remote_io = result.remote_io_users_.count(fn.get()) != 0;
-            for (const ir::Function *callee : cg.callees(fn.get())) {
-                if (!tainted && result.tainted_.count(callee)) {
-                    result.tainted_.insert(fn.get());
-                    result.reasons_.emplace(
-                        fn.get(),
-                        "calls machine-specific @" + callee->name());
-                    tainted = true;
-                    changed = true;
-                }
-                if (!remote_io && result.remote_io_users_.count(callee)) {
-                    result.remote_io_users_.insert(fn.get());
-                    remote_io = true;
-                    changed = true;
-                }
-            }
-            if (cg.hasIndirectCall(fn.get())) {
-                for (const ir::Function *target : cg.addressTaken()) {
-                    if (!tainted && result.tainted_.count(target)) {
-                        result.tainted_.insert(fn.get());
-                        result.reasons_.emplace(
-                            fn.get(), "indirect call may reach "
-                                      "machine-specific @" + target->name());
-                        tainted = true;
-                        changed = true;
-                    }
-                    if (!remote_io &&
-                        result.remote_io_users_.count(target)) {
-                        result.remote_io_users_.insert(fn.get());
-                        remote_io = true;
-                        changed = true;
-                    }
-                }
-            }
-        }
-    }
+    result.taint_ = analysis::machineSpecificTaint(module, pts, policy);
+    result.remote_io_ = analysis::remoteIoUse(module, pts);
     return result;
 }
 

@@ -6,15 +6,20 @@
  * unknown external call, or an I/O instruction — except I/O calls the
  * remote I/O manager (Sec. 3.4) can execute remotely, which stay
  * offloadable when the optimization is enabled.
+ *
+ * The classification is an instance of the analysis-layer attribute
+ * lattice over points-to-resolved call edges: indirect calls taint only
+ * through their resolved target sets (or the address-taken fallback
+ * when a pointer escapes tracking), and every machine-specific verdict
+ * carries a witness call chain down to the seeding instruction.
  */
 #ifndef NOL_COMPILER_FUNCTIONFILTER_HPP
 #define NOL_COMPILER_FUNCTIONFILTER_HPP
 
-#include <map>
 #include <set>
 #include <string>
 
-#include "ir/callgraph.hpp"
+#include "analysis/taint.hpp"
 #include "ir/module.hpp"
 
 namespace nol::compiler {
@@ -38,43 +43,46 @@ class FilterResult
     /** True if @p fn may NOT be offloaded. */
     bool isMachineSpecific(const ir::Function *fn) const
     {
-        return tainted_.count(fn) != 0;
+        return taint_.has(fn);
     }
 
-    /** True if @p loop of @p fn may NOT be offloaded. */
+    /** True if @p loop of @p fn may NOT be offloaded. The verdict is
+     *  per function: a block is tainted only if *this* function's body
+     *  seeds or reaches machine-specific code there. */
     bool loopIsMachineSpecific(const ir::Function *fn,
                                const ir::LoopMeta &loop) const;
 
     /** Human-readable reason @p fn was filtered ("" if offloadable). */
     std::string reason(const ir::Function *fn) const;
 
+    /** Provenance of the verdict: the call chain from @p fn down to
+     *  the machine-specific instruction; nullptr if offloadable. */
+    const analysis::TaintWitness *witness(const ir::Function *fn) const
+    {
+        return taint_.witness(fn);
+    }
+
     /** True if @p fn (transitively) performs remote-capable I/O. */
     bool usesRemoteIo(const ir::Function *fn) const
     {
-        return remote_io_users_.count(fn) != 0;
+        return remote_io_.has(fn);
     }
 
     /** All machine-specific functions. */
     const std::set<const ir::Function *> &tainted() const
     {
-        return tainted_;
+        return taint_.members();
     }
 
   private:
     friend FilterResult runFunctionFilter(const ir::Module &,
-                                          const ir::CallGraph &,
                                           const FilterConfig &);
-    std::set<const ir::Function *> tainted_;
-    std::map<const ir::Function *, std::string> reasons_;
-    std::set<const ir::Function *> remote_io_users_;
-    std::set<const ir::Function *> direct_tainted_;
-    std::map<const ir::Function *,
-             std::set<const ir::BasicBlock *>> tainted_blocks_;
+    analysis::AttributeResult taint_;
+    analysis::AttributeResult remote_io_;
 };
 
 /** Classify every function of @p module. */
 FilterResult runFunctionFilter(const ir::Module &module,
-                               const ir::CallGraph &cg,
                                const FilterConfig &config = {});
 
 } // namespace nol::compiler

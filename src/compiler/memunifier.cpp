@@ -1,5 +1,6 @@
 #include "compiler/memunifier.hpp"
 
+#include "analysis/pointsto.hpp"
 #include "frontend/builtins.hpp"
 #include "ir/datalayout.hpp"
 
@@ -61,6 +62,82 @@ collectInitGlobals(const ir::Initializer &init,
         collectInitGlobals(elem, out);
 }
 
+/** Close @p referenced over initializer cross-references: a UVA global
+ *  whose initializer points at another global drags that one in too
+ *  (both loaders must serialize the same address into UVA space). */
+void
+closeOverInitializers(std::set<const ir::GlobalVariable *> &referenced)
+{
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        std::set<const ir::GlobalVariable *> extra;
+        for (const ir::GlobalVariable *gv : referenced)
+            collectInitGlobals(gv->init(), extra);
+        for (const ir::GlobalVariable *gv : extra)
+            grew |= referenced.insert(gv).second;
+    }
+}
+
+/** Globals whose address may reach @p fn's instructions per @p pts. */
+void
+collectGlobalsPointsTo(const ir::Function &fn,
+                       const analysis::PointsToResult &pts,
+                       std::set<const ir::GlobalVariable *> &out)
+{
+    auto note = [&](const analysis::PtsSet &set) {
+        for (const analysis::MemObject &obj : set) {
+            if (obj.kind == analysis::MemObject::Kind::Global) {
+                out.insert(
+                    static_cast<const ir::GlobalVariable *>(obj.value));
+            }
+        }
+    };
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            note(pts.pointsTo(inst.get()));
+            for (const ir::Value *op : inst->operands())
+                note(pts.pointsTo(op));
+        }
+    }
+}
+
+/** Alloca slots whose address escapes their frame: stored into any
+ *  object, passed to a call, or returned. */
+std::set<const ir::Instruction *>
+escapedStackSlots(const ir::Module &module,
+                  const analysis::PointsToResult &pts)
+{
+    std::set<const ir::Instruction *> escaped;
+    auto note = [&](const analysis::PtsSet &set) {
+        for (const analysis::MemObject &obj : set) {
+            if (obj.kind == analysis::MemObject::Kind::Stack) {
+                escaped.insert(
+                    static_cast<const ir::Instruction *>(obj.value));
+            }
+        }
+    };
+    for (const auto &[obj, set] : pts.allContents()) {
+        (void)obj;
+        note(set);
+    }
+    for (const auto &fn : module.functions()) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                bool passes_pointers =
+                    inst->op() == ir::Opcode::Call ||
+                    inst->op() == ir::Opcode::CallIndirect ||
+                    inst->op() == ir::Opcode::Ret;
+                if (!passes_pointers)
+                    continue;
+                for (const ir::Value *op : inst->operands())
+                    note(pts.pointsTo(op));
+            }
+        }
+    }
+    return escaped;
+}
+
 } // namespace
 
 UnifyStats
@@ -111,25 +188,37 @@ unifyMemory(ir::Module &module, const std::vector<ir::Function *> &targets,
         }
     }
 
-    // 4. Referenced global variable allocation: globals reachable from
-    //    any offload target (directly, through its callees, or through
-    //    initializers of already-referenced globals) move to UVA space.
+    // 4. Referenced global variable allocation: globals the offloaded
+    //    code may touch move to UVA space. The conservative baseline
+    //    (the paper's Sec. 3.2 algorithm) takes every global that
+    //    appears syntactically in any call-graph-reachable function;
+    //    points-to refines that to globals whose *address* can actually
+    //    reach an instruction of a points-to-reachable function —
+    //    which both shrinks the set (helpers only reachable through
+    //    resolved function pointers no longer drag their globals in)
+    //    and catches address flows the syntactic walk misses (a global
+    //    passed into a target by pointer argument).
     ir::CallGraph cg(module);
-    std::set<ir::Function *> reach = cg.reachableFrom(targets);
-    std::set<const ir::GlobalVariable *> referenced;
-    for (const ir::Function *fn : reach)
-        collectGlobals(*fn, referenced);
+    std::set<ir::Function *> cg_reach = cg.reachableFrom(targets);
+    std::set<const ir::GlobalVariable *> conservative;
+    for (const ir::Function *fn : cg_reach)
+        collectGlobals(*fn, conservative);
+    closeOverInitializers(conservative);
+    stats.uvaGlobalsConservative = conservative.size();
 
-    // Transitive closure over initializers (a UVA global whose
-    // initializer points at another global drags that one in too).
-    bool grew = true;
-    while (grew) {
-        grew = false;
-        std::set<const ir::GlobalVariable *> extra;
-        for (const ir::GlobalVariable *gv : referenced)
-            collectInitGlobals(gv->init(), extra);
-        for (const ir::GlobalVariable *gv : extra)
-            grew |= referenced.insert(gv).second;
+    analysis::PointsToResult pts = analysis::analyzePointsTo(module);
+    std::vector<const ir::Function *> roots(targets.begin(),
+                                            targets.end());
+    analysis::PointsToResult::Reachable reach = pts.reachableFrom(roots);
+    stats.pointsToPrecise = reach.precise;
+
+    std::set<const ir::GlobalVariable *> referenced;
+    if (reach.precise) {
+        for (const ir::Function *fn : reach.fns)
+            collectGlobalsPointsTo(*fn, pts, referenced);
+        closeOverInitializers(referenced);
+    } else {
+        referenced = conservative;
     }
 
     stats.totalGlobals = module.globals().size();
@@ -137,6 +226,33 @@ unifyMemory(ir::Module &module, const std::vector<ir::Function *> &targets,
         if (referenced.count(gv.get()) != 0) {
             gv->setInUva(true);
             ++stats.uvaGlobals;
+        }
+    }
+
+    // 5. Stack reallocation marks: an alloca whose address escapes an
+    //    offload-reachable frame must live at the same address on both
+    //    machines; mark it here, before the partitioner clones the
+    //    module, so the mobile and server clones agree by construction.
+    std::set<const ir::Instruction *> escaped =
+        escapedStackSlots(module, pts);
+    std::set<const ir::Function *> mark_in;
+    if (reach.precise) {
+        mark_in = reach.fns;
+    } else {
+        mark_in.insert(cg_reach.begin(), cg_reach.end());
+    }
+    for (const auto &fn : module.functions()) {
+        if (mark_in.count(fn.get()) == 0)
+            continue;
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (inst->op() != ir::Opcode::Alloca ||
+                    escaped.count(inst.get()) == 0) {
+                    continue;
+                }
+                inst->setUvaStack(true);
+                ++stats.stackSlotsUnified;
+            }
         }
     }
     return stats;

@@ -34,6 +34,16 @@ struct UnifyStats {
     size_t structsRealigned = 0;
     size_t uvaGlobals = 0;
     size_t totalGlobals = 0;
+    /** Size of the call-graph-closure referenced-global set (the
+     *  paper's conservative Sec. 3.2 algorithm) — the baseline the
+     *  points-to refinement is measured against in bench_analysis. */
+    size_t uvaGlobalsConservative = 0;
+    /** Alloca slots marked for unified-space reallocation (their
+     *  address escapes an offload-reachable frame). */
+    size_t stackSlotsUnified = 0;
+    /** Points-to reachability was precise (no address-taken fallback);
+     *  when false the conservative global set was used instead. */
+    bool pointsToPrecise = false;
     bool addressSizeConversion = false; ///< mobile/server widths differ
     bool endiannessTranslation = false; ///< mobile/server orders differ
 };

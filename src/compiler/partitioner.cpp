@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "analysis/pointsto.hpp"
 #include "ir/callgraph.hpp"
 #include "ir/outline.hpp"
 #include "ir/verifier.hpp"
@@ -175,6 +176,29 @@ partitionModule(ir::Module &module, const OutlinedTargets &outlined)
                         ++result.remoteInputSites;
                     else
                         ++result.remoteOutputSites;
+                }
+            }
+        }
+
+        // Function pointer mapping (Sec. 3.4): the translation map
+        // needs one entry per function whose address may flow to an
+        // indirect call that can execute here. Points-to shrinks that
+        // from the conservative "every address-taken function"; a site
+        // whose pointer escaped tracking falls back to the baseline.
+        analysis::PointsToResult pts = analysis::analyzePointsTo(srv);
+        result.fptrMapConservative = pts.addressTaken().size();
+        for (const auto &fn : srv.functions()) {
+            for (const auto &bb : fn->blocks()) {
+                for (const auto &inst : bb->insts()) {
+                    if (inst->op() != ir::Opcode::CallIndirect)
+                        continue;
+                    analysis::PointsToResult::CalleeSet callees =
+                        pts.indirectCallees(inst.get());
+                    const auto &targets = callees.complete
+                                              ? callees.fns
+                                              : pts.addressTaken();
+                    for (const ir::Function *target : targets)
+                        result.fptrMap.insert(target->name());
                 }
             }
         }

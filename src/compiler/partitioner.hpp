@@ -22,6 +22,7 @@
 #define NOL_COMPILER_PARTITIONER_HPP
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,14 @@ struct PartitionResult {
     size_t remoteInputSites = 0;      ///< fread/fgetc → r_* rewrites
     size_t functionPointerUses = 0;   ///< indirect call sites kept on server
     size_t callSitesRewritten = 0;    ///< mobile stub insertions
+
+    /** Function-pointer translation map (Sec. 3.4): names of functions
+     *  whose address may flow to an indirect call executed on the
+     *  server, shrunk by points-to from the conservative "every
+     *  address-taken function" baseline. */
+    std::set<std::string> fptrMap;
+    /** Size of the conservative baseline map (all address-taken). */
+    size_t fptrMapConservative = 0;
 };
 
 /** Targets materialized as functions (loops outlined). */

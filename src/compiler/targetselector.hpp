@@ -14,6 +14,7 @@
 
 #include "compiler/estimator.hpp"
 #include "compiler/functionfilter.hpp"
+#include "ir/callgraph.hpp"
 #include "profile/profiler.hpp"
 
 namespace nol::compiler {

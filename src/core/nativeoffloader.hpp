@@ -80,6 +80,14 @@ class Program
     /** The full compile pipeline output. */
     const compiler::CompiledProgram &compiled() const { return *compiled_; }
 
+    /** Offload-safety verification: statically prove the partition
+     *  invariants (see compiler::verifyOffloadSafety). An engine with
+     *  hasErrors() means the partition must not ship. */
+    support::DiagnosticEngine verify() const
+    {
+        return compiler::verifyOffloadSafety(*compiled_);
+    }
+
     /** Names of the selected offload targets. */
     std::vector<std::string> targets() const
     {

@@ -146,6 +146,17 @@ class Instruction : public Value
     const std::string &asmText() const { return asm_text_; }
     void setAsmText(std::string text) { asm_text_ = std::move(text); }
 
+    // --- Alloca extras ------------------------------------------------------
+    /**
+     * Stack-reallocation mark (paper Sec. 3.2): set by the memory
+     * unifier on Alloca slots whose address escapes from an
+     * offload-reachable frame, so both binaries place the slot in
+     * unified space. The partition verifier checks the mobile and
+     * server clones agree on every mark.
+     */
+    bool uvaStack() const { return uva_stack_; }
+    void setUvaStack(bool v) { uva_stack_ = v; }
+
   private:
     Opcode op_;
     BasicBlock *parent_ = nullptr;
@@ -158,6 +169,7 @@ class Instruction : public Value
     const FunctionType *callee_type_ = nullptr;
     std::vector<int64_t> case_values_;
     std::string asm_text_;
+    bool uva_stack_ = false;
 };
 
 } // namespace nol::ir

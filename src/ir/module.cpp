@@ -134,6 +134,7 @@ cloneInstShell(const Instruction *inst)
     copy->setFieldIndex(inst->fieldIndex());
     copy->setCalleeType(inst->calleeType());
     copy->setAsmText(inst->asmText());
+    copy->setUvaStack(inst->uvaStack());
     for (int64_t case_value : inst->caseValues())
         copy->addCase(case_value);
     return copy;

@@ -1,0 +1,79 @@
+#include "support/diagnostic.hpp"
+
+#include <sstream>
+
+namespace nol::support {
+
+const char *
+diagSeverityName(DiagSeverity severity)
+{
+    switch (severity) {
+      case DiagSeverity::Note: return "note";
+      case DiagSeverity::Warning: return "warning";
+      case DiagSeverity::Error: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    os << diagSeverityName(severity) << " [" << code << "]";
+    if (!function.empty())
+        os << " @" << function;
+    os << ": " << message;
+    if (!instruction.empty())
+        os << "\n  at: " << instruction;
+    for (size_t i = 0; i < witness.size(); ++i)
+        os << "\n  " << (i == 0 ? "witness: " : "         ") << witness[i];
+    return os.str();
+}
+
+Diagnostic &
+DiagnosticEngine::report(DiagSeverity severity, std::string code,
+                         std::string message)
+{
+    Diagnostic diag;
+    diag.severity = severity;
+    diag.code = std::move(code);
+    diag.message = std::move(message);
+    diags_.push_back(std::move(diag));
+    return diags_.back();
+}
+
+size_t
+DiagnosticEngine::count(DiagSeverity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic &diag : diags_) {
+        if (diag.severity == severity)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<const Diagnostic *>
+DiagnosticEngine::byCode(const std::string &code) const
+{
+    std::vector<const Diagnostic *> out;
+    for (const Diagnostic &diag : diags_) {
+        if (diag.code == code)
+            out.push_back(&diag);
+    }
+    return out;
+}
+
+std::string
+DiagnosticEngine::render() const
+{
+    std::ostringstream os;
+    for (const Diagnostic &diag : diags_)
+        os << diag.str() << "\n";
+    os << count(DiagSeverity::Error) << " error(s), "
+       << count(DiagSeverity::Warning) << " warning(s), "
+       << count(DiagSeverity::Note) << " note(s)\n";
+    return os.str();
+}
+
+} // namespace nol::support

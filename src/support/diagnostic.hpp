@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Structured diagnostics for static analyses and verifiers. A
+ * Diagnostic carries a severity, a stable machine-checkable code, the
+ * offending location (function / block / instruction, rendered as
+ * strings so the engine stays IR-agnostic) and an optional *witness
+ * path* — the call chain that proves the finding, outermost frame
+ * first. The engine collects diagnostics, counts them by severity and
+ * renders compiler-style reports for the nol-verify CLI and CI.
+ */
+#ifndef NOL_SUPPORT_DIAGNOSTIC_HPP
+#define NOL_SUPPORT_DIAGNOSTIC_HPP
+
+#include <string>
+#include <vector>
+
+namespace nol::support {
+
+/** How bad a finding is. */
+enum class DiagSeverity {
+    Note,    ///< informational (precision statistics, shrink hints)
+    Warning, ///< suspicious but not unsound (e.g. oversized fptr map)
+    Error,   ///< a broken partition invariant; the module pair is unsafe
+};
+
+/** Printable name of @p severity ("error", "warning", "note"). */
+const char *diagSeverityName(DiagSeverity severity);
+
+/** One finding. */
+struct Diagnostic {
+    DiagSeverity severity = DiagSeverity::Error;
+    std::string code;        ///< stable id, e.g. "global-not-uva"
+    std::string message;     ///< human-readable one-liner
+    std::string function;    ///< offending function name ("" = module level)
+    std::string instruction; ///< offending instruction, printed ("" = none)
+    /** Call chain proving the finding, outermost frame first; each
+     *  entry is one rendered frame ("@main: call @getPlayerTurn"). */
+    std::vector<std::string> witness;
+
+    /** Render like "error [global-not-uva] @fn: message\n  at: ...". */
+    std::string str() const;
+};
+
+/** Collector of diagnostics with severity accounting. */
+class DiagnosticEngine
+{
+  public:
+    /** Add a finding; returns it for location/witness attachment. */
+    Diagnostic &report(DiagSeverity severity, std::string code,
+                       std::string message);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    size_t count(DiagSeverity severity) const;
+    bool hasErrors() const { return count(DiagSeverity::Error) != 0; }
+
+    /** All findings with @p code. */
+    std::vector<const Diagnostic *> byCode(const std::string &code) const;
+
+    /** Render every finding plus a severity summary line. */
+    std::string render() const;
+
+    bool empty() const { return diags_.empty(); }
+    size_t size() const { return diags_.size(); }
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace nol::support
+
+#endif // NOL_SUPPORT_DIAGNOSTIC_HPP

@@ -35,6 +35,24 @@ double shadePhongish(double x, double y, double z) {
 
 SHADER shaders[3] = { shadeFlat, shadeGouraud, shadePhongish };
 
+/* GLUT-style window callbacks: registered in a table and fired only
+ * from main around Render. The per-fragment shader dispatch inside
+ * Render makes a conservative call-graph treat every address-taken
+ * function as a possible shader; points-to keeps the window state on
+ * the device. */
+int windowEvents;
+
+double cbReshape(double t, double w, double h) {
+    windowEvents++;
+    return t + w / (h + 1.0);
+}
+double cbExpose(double t, double w, double h) {
+    windowEvents++;
+    return t * 0.5 + w * 0.001 + h * 0.002;
+}
+
+SHADER windowCallbacks[2] = { cbReshape, cbExpose };
+
 float* framebuf;
 float* zbuf;
 double* tris; /* 9 doubles per triangle: 3 x (x,y,z) */
@@ -92,7 +110,10 @@ int main() {
         double span = axis == 0 ? (double)W : (axis == 1 ? (double)H : 1.0);
         tris[i] = (double)((s >> 16) % 1000) / 1000.0 * span;
     }
+    SHADER onEvent = windowCallbacks[frames % 2];
+    double sized = onEvent(0.0, (double)W, (double)H);
     Render();
+    printf("window events %d, size %.2f\n", windowEvents, sized);
     return frames;
 }
 )";

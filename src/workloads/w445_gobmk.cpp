@@ -62,6 +62,18 @@ int cmdEstimate(int arg) {
 
 COMMAND commands[3] = { cmdPlay, cmdUndo, cmdEstimate };
 
+/* GTP response formatters: picked through a table only in main, after
+ * the command loop finishes. The loop's command dispatch makes every
+ * address-taken function look reachable to a conservative call-graph
+ * walk, pulling these and their counters toward the server; points-to
+ * proves the command table never holds them. */
+long gtpResponses;
+
+int reportScore(int v) { gtpResponses++; return v % 10; }
+int reportMoves(int v) { gtpResponses++; return v % 7; }
+
+COMMAND reporters[2] = { reportScore, reportMoves };
+
 void gtp_main_loop() {
     void* f = fopen("records.sgf", "r");
     unsigned char record[16];
@@ -84,7 +96,8 @@ int main() {
     influence = (int*)malloc(sizeof(int) * BAREA);
     for (int p = 0; p < BAREA; p++) { board[p] = 0; influence[p] = 0; }
     gtp_main_loop();
-    return (int)(score % 59);
+    COMMAND report = reporters[dummy % 2];
+    return (int)((score + report((int)(score % 1000))) % 59);
 }
 )";
 

@@ -35,6 +35,19 @@ EVALFUNC evalRoutines[6] = {
     evalPawn, evalKnight, evalBishop, evalRook, evalQueen, evalKing
 };
 
+/* xboard-style UI announcers: dispatched through a function-pointer
+ * table from the interactive loop in main only. Never reachable from
+ * think, so their private counters stay out of the UVA set — but a
+ * call-graph walk that expands indirect calls to every address-taken
+ * function drags them in through search's eval dispatch. */
+long uiMovesShown;
+long uiCapturesShown;
+
+long announceMove(int sq) { uiMovesShown++; return (long)(sq % 8); }
+long announceCapture(int sq) { uiCapturesShown++; return (long)(sq % 5) * 2; }
+
+EVALFUNC uiRoutines[2] = { announceMove, announceCapture };
+
 int* board;      /* piece type per square */
 long* hashTable; /* transposition table: the big working set */
 long nodesVisited;
@@ -79,6 +92,8 @@ int main() {
         int from; int to;
         scanf("%d %d", &from, &to);           /* the player's move */
         board[to % BOARD] = board[from % BOARD];
+        EVALFUNC announce = uiRoutines[(from + to) % 2];
+        total += announce(to % BOARD) % 3;     /* echo it on the device */
         total += think(turn);                  /* the AI's move */
         board[(int)(total % BOARD)] = (int)(total % 6);
     }

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Analysis-layer tests: Andersen-style points-to (function-pointer
+ * resolution, heap flow, unknown fallback, reachability), the taint
+ * attribute lattice (witness chains, indirect-call classification),
+ * the function filter's per-function loop verdicts, and the
+ * post-partition offload-safety verifier (clean pipeline accepted,
+ * every intentionally-broken module pair rejected with a witness).
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/corpus.hpp"
+#include "analysis/partitionverifier.hpp"
+#include "analysis/pointsto.hpp"
+#include "analysis/taint.hpp"
+#include "compiler/driver.hpp"
+#include "compiler/functionfilter.hpp"
+#include "frontend/codegen.hpp"
+
+using namespace nol;
+using namespace nol::analysis;
+
+namespace {
+
+std::unique_ptr<ir::Module>
+compile(const char *src)
+{
+    return frontend::compileSource(src, "test.c");
+}
+
+/** First CallIndirect instruction in @p fn (asserts there is one). */
+const ir::Instruction *
+firstIndirectSite(const ir::Function *fn)
+{
+    for (const auto &bb : fn->blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == ir::Opcode::CallIndirect)
+                return inst.get();
+        }
+    }
+    return nullptr;
+}
+
+std::set<std::string>
+names(const std::set<const ir::Function *> &fns)
+{
+    std::set<std::string> out;
+    for (const ir::Function *fn : fns)
+        out.insert(fn->name());
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Points-to
+// ---------------------------------------------------------------------
+
+TEST(PointsTo, ResolvesFunctionPointerTable)
+{
+    auto mod = compile(R"(
+        typedef int (*FN)(int);
+        int inc(int x) { return x + 1; }
+        int dec(int x) { return x - 1; }
+        FN table[2] = { inc, dec };
+        int apply(int which, int v) { FN f = table[which % 2]; return f(v); }
+        int main() { return apply(0, 4) + apply(1, 4); }
+    )");
+    PointsToResult pts = analyzePointsTo(*mod);
+
+    const ir::Instruction *site =
+        firstIndirectSite(mod->functionByName("apply"));
+    ASSERT_NE(site, nullptr);
+    PointsToResult::CalleeSet callees = pts.indirectCallees(site);
+    EXPECT_TRUE(callees.complete);
+    EXPECT_EQ(names(callees.fns), (std::set<std::string>{"inc", "dec"}));
+    EXPECT_EQ(names(pts.addressTaken()),
+              (std::set<std::string>{"inc", "dec"}));
+}
+
+TEST(PointsTo, SeparateTablesStaySeparate)
+{
+    // The shrink mechanism: two tables, two call sites — each site
+    // resolves only to the functions stored in *its* table, so the
+    // fptr map / UVA set need not cover every address-taken function.
+    auto mod = compile(R"(
+        typedef int (*FN)(int);
+        int hotA(int x) { return x * 2; }
+        int hotB(int x) { return x * 3; }
+        int uiA(int x) { return x + 10; }
+        int uiB(int x) { return x + 20; }
+        FN hot[2] = { hotA, hotB };
+        FN ui[2] = { uiA, uiB };
+        int kernel(int v) { FN f = hot[v % 2]; return f(v); }
+        int main() { FN g = ui[kernel(5) % 2]; return g(1); }
+    )");
+    PointsToResult pts = analyzePointsTo(*mod);
+
+    PointsToResult::CalleeSet hot_callees =
+        pts.indirectCallees(firstIndirectSite(mod->functionByName("kernel")));
+    EXPECT_TRUE(hot_callees.complete);
+    EXPECT_EQ(names(hot_callees.fns),
+              (std::set<std::string>{"hotA", "hotB"}));
+
+    // Reachability from the kernel never touches the UI handlers.
+    PointsToResult::Reachable reach =
+        pts.reachableFrom({mod->functionByName("kernel")});
+    EXPECT_TRUE(reach.precise);
+    std::set<std::string> fns = names(reach.fns);
+    EXPECT_EQ(fns.count("hotA"), 1u);
+    EXPECT_EQ(fns.count("uiA"), 0u);
+    EXPECT_EQ(fns.count("uiB"), 0u);
+}
+
+TEST(PointsTo, FunctionPointerFlowsThroughHeap)
+{
+    auto mod = compile(R"(
+        typedef int (*FN)(int);
+        int work(int x) { return x * x; }
+        int main() {
+            FN* slot = (FN*)malloc(sizeof(FN));
+            *slot = work;
+            FN f = *slot;
+            return f(3);
+        }
+    )");
+    PointsToResult pts = analyzePointsTo(*mod);
+    PointsToResult::CalleeSet callees =
+        pts.indirectCallees(firstIndirectSite(mod->functionByName("main")));
+    EXPECT_TRUE(callees.complete);
+    EXPECT_EQ(names(callees.fns), (std::set<std::string>{"work"}));
+}
+
+TEST(PointsTo, UnknownExternalForcesConservativeFallback)
+{
+    auto mod = compile(R"(
+        typedef int (*FN)(int);
+        FN getHandler(int which);   /* unmodeled external */
+        int main() { FN f = getHandler(0); return f(3); }
+    )");
+    PointsToResult pts = analyzePointsTo(*mod);
+    PointsToResult::CalleeSet callees =
+        pts.indirectCallees(firstIndirectSite(mod->functionByName("main")));
+    EXPECT_FALSE(callees.complete);
+
+    PointsToResult::Reachable reach =
+        pts.reachableFrom({mod->functionByName("main")});
+    EXPECT_FALSE(reach.precise);
+}
+
+// ---------------------------------------------------------------------
+// Taint / attribute lattice
+// ---------------------------------------------------------------------
+
+TEST(Taint, WitnessChainNamesEveryFrame)
+{
+    auto mod = compile(R"(
+        int readMove() { int m; scanf("%d", &m); return m; }
+        int turn() { return readMove() + 1; }
+        int main() { return turn(); }
+    )");
+    PointsToResult pts = analyzePointsTo(*mod);
+    AttributeResult taint = machineSpecificTaint(*mod, pts, {});
+
+    const ir::Function *main_fn = mod->functionByName("main");
+    ASSERT_TRUE(taint.has(main_fn));
+    const TaintWitness *w = taint.witness(main_fn);
+    ASSERT_NE(w, nullptr);
+    EXPECT_NE(w->reason.find("scanf"), std::string::npos);
+    ASSERT_GE(w->steps.size(), 3u); // main -> turn -> readMove seed
+    EXPECT_EQ(w->steps.front().fn, main_fn);
+    EXPECT_EQ(w->steps.back().fn, mod->functionByName("readMove"));
+    ASSERT_NE(w->steps.back().inst, nullptr);
+    // Every frame renders with a function name.
+    for (const std::string &frame : w->frames())
+        EXPECT_EQ(frame[0], '@');
+}
+
+TEST(Taint, RemoteIoPolicyGatesPrintf)
+{
+    auto mod = compile(R"(
+        int report(int x) { printf("%d\n", x); return x; }
+        int main() { return report(3); }
+    )");
+    PointsToResult pts = analyzePointsTo(*mod);
+
+    TaintPolicy remote_on;
+    EXPECT_FALSE(machineSpecificTaint(*mod, pts, remote_on)
+                     .has(mod->functionByName("report")));
+    EXPECT_TRUE(remoteIoUse(*mod, pts).has(mod->functionByName("report")));
+
+    TaintPolicy remote_off;
+    remote_off.remoteIoEnabled = false;
+    AttributeResult taint = machineSpecificTaint(*mod, pts, remote_off);
+    ASSERT_TRUE(taint.has(mod->functionByName("report")));
+    EXPECT_NE(taint.witness(mod->functionByName("report"))
+                  ->reason.find("printf"),
+              std::string::npos);
+}
+
+TEST(Taint, ResolvedIndirectCallTaintsOnlyThroughTargets)
+{
+    // An indirect call is NOT machine specific per se: with a fully
+    // resolved, clean target set the caller stays offloadable; taint
+    // flows only when a resolved target is itself tainted.
+    auto mod = compile(R"(
+        typedef int (*FN)(int);
+        int clean1(int x) { return x + 1; }
+        int clean2(int x) { return x * 2; }
+        int asksUser(int x) { int v; scanf("%d", &v); return v + x; }
+        FN pure[2] = { clean1, clean2 };
+        FN mixed[2] = { clean1, asksUser };
+        int viaPure(int v) { FN f = pure[v % 2]; return f(v); }
+        int viaMixed(int v) { FN f = mixed[v % 2]; return f(v); }
+        int main() { return viaPure(1) + viaMixed(2); }
+    )");
+    PointsToResult pts = analyzePointsTo(*mod);
+    AttributeResult taint = machineSpecificTaint(*mod, pts, {});
+
+    EXPECT_FALSE(taint.has(mod->functionByName("viaPure")));
+    ASSERT_TRUE(taint.has(mod->functionByName("viaMixed")));
+    const TaintWitness *w = taint.witness(mod->functionByName("viaMixed"));
+    ASSERT_NE(w, nullptr);
+    EXPECT_NE(w->str().find("asksUser"), std::string::npos);
+}
+
+TEST(Taint, UnresolvedIndirectCallIsConservativelyTainted)
+{
+    auto mod = compile(R"(
+        typedef int (*FN)(int);
+        FN getHandler(int which);   /* unmodeled external */
+        int dispatch(int v) { FN f = getHandler(v); return f(v); }
+        int main() { return dispatch(1); }
+    )");
+    PointsToResult pts = analyzePointsTo(*mod);
+    AttributeResult taint = machineSpecificTaint(*mod, pts, {});
+    const ir::Function *dispatch = mod->functionByName("dispatch");
+    ASSERT_TRUE(taint.has(dispatch));
+    EXPECT_NE(taint.witness(dispatch)->str().find("getHandler"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Function filter (per-function loop verdicts)
+// ---------------------------------------------------------------------
+
+TEST(FunctionFilter, LoopVerdictIsPerFunction)
+{
+    // Regression: two functions with the *same shape* — only the one
+    // whose loop body reaches machine-specific code may have its loop
+    // ruled out. A lookup that ignores which function is asked about
+    // would taint (or clear) both.
+    auto mod = compile(R"(
+        int readKey() { int k; scanf("%d", &k); return k; }
+        int pureStep(int k) { return k * 3 + 1; }
+        int interactive(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += readKey(); }
+            return s;
+        }
+        int batch(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += pureStep(i); }
+            return s;
+        }
+        int main() { return interactive(2) + batch(2); }
+    )");
+    compiler::FilterResult filter = compiler::runFunctionFilter(*mod);
+
+    const ir::Function *interactive = mod->functionByName("interactive");
+    const ir::Function *batch = mod->functionByName("batch");
+    ASSERT_EQ(interactive->loops().size(), 1u);
+    ASSERT_EQ(batch->loops().size(), 1u);
+
+    EXPECT_TRUE(filter.isMachineSpecific(interactive));
+    EXPECT_TRUE(
+        filter.loopIsMachineSpecific(interactive, interactive->loops()[0]));
+    EXPECT_FALSE(filter.isMachineSpecific(batch));
+    EXPECT_FALSE(filter.loopIsMachineSpecific(batch, batch->loops()[0]));
+
+    // The witness pins the verdict to the offending call chain.
+    const analysis::TaintWitness *w = filter.witness(interactive);
+    ASSERT_NE(w, nullptr);
+    EXPECT_NE(w->str().find("readKey"), std::string::npos);
+    EXPECT_EQ(filter.witness(batch), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Offload-safety verifier
+// ---------------------------------------------------------------------
+
+TEST(PartitionVerifier, CleanPipelineHasNoDiagnostics)
+{
+    const char *src = R"(
+        typedef long (*EVALFUNC)(int);
+        long evalA(int sq) { return 100 + sq % 8; }
+        long evalB(int sq) { return 320 - sq % 5; }
+        EVALFUNC evals[2] = { evalA, evalB };
+        int* board;
+        long heavy(int n) {
+            long acc = 0;
+            for (int i = 0; i < n * 4000; i++) {
+                EVALFUNC f = evals[board[i % 16] % 2];
+                acc += f(i % 64);
+            }
+            return acc;
+        }
+        int main() {
+            int n;
+            scanf("%d", &n);
+            board = (int*)malloc(sizeof(int) * 16);
+            for (int i = 0; i < 16; i++) { board[i] = i; }
+            return (int)(heavy(n) % 97);
+        }
+    )";
+    auto mod = compile(src);
+    compiler::CompileOptions options;
+    options.profilingInput.stdinText = "3";
+    compiler::CompiledProgram prog =
+        compiler::compileForOffload(std::move(mod), options);
+    ASSERT_FALSE(prog.partition.targets.empty());
+
+    support::DiagnosticEngine engine = compiler::verifyOffloadSafety(prog);
+    EXPECT_FALSE(engine.hasErrors()) << engine.render();
+    EXPECT_EQ(engine.count(support::DiagSeverity::Error), 0u);
+}
+
+TEST(PartitionVerifier, EveryBrokenCorpusCaseIsRejectedWithWitness)
+{
+    std::vector<CorpusOutcome> outcomes = runBrokenCorpus();
+    ASSERT_GE(outcomes.size(), 5u);
+    for (const CorpusOutcome &outcome : outcomes) {
+        EXPECT_TRUE(outcome.fired)
+            << outcome.name << ": expected diagnostic "
+            << outcome.expectCode << " did not fire\n"
+            << outcome.rendered;
+        EXPECT_TRUE(outcome.witnessed)
+            << outcome.name << ": diagnostic carries no witness\n"
+            << outcome.rendered;
+        EXPECT_TRUE(outcome.passed()) << outcome.rendered;
+    }
+}

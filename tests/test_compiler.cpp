@@ -121,8 +121,7 @@ TEST(Estimator, Table3GoldenNumbers)
 TEST(Filter, ClassifiesChessFunctions)
 {
     auto mod = frontend::compileSource(kChessSrc, "chess.c");
-    ir::CallGraph cg(*mod);
-    FilterResult filter = runFunctionFilter(*mod, cg);
+    FilterResult filter = runFunctionFilter(*mod);
 
     // getPlayerTurn calls scanf: interactive I/O → machine specific;
     // so are its (transitive) callers.
@@ -147,13 +146,12 @@ TEST(Filter, RemoteIoKeepsPrintfOffloadable)
         int main() { return work(100); }
     )";
     auto mod = frontend::compileSource(src, "t.c");
-    ir::CallGraph cg(*mod);
 
-    FilterResult with_rio = runFunctionFilter(*mod, cg, {true});
+    FilterResult with_rio = runFunctionFilter(*mod, {true});
     EXPECT_FALSE(with_rio.isMachineSpecific(mod->functionByName("work")));
     EXPECT_TRUE(with_rio.usesRemoteIo(mod->functionByName("work")));
 
-    FilterResult without_rio = runFunctionFilter(*mod, cg, {false});
+    FilterResult without_rio = runFunctionFilter(*mod, {false});
     EXPECT_TRUE(without_rio.isMachineSpecific(mod->functionByName("work")));
 }
 
@@ -166,8 +164,7 @@ TEST(Filter, AsmAndSyscallTaint)
         int main() { spin(); sys(); return pure(2); }
     )";
     auto mod = frontend::compileSource(src, "t.c");
-    ir::CallGraph cg(*mod);
-    FilterResult filter = runFunctionFilter(*mod, cg);
+    FilterResult filter = runFunctionFilter(*mod);
     EXPECT_TRUE(filter.isMachineSpecific(mod->functionByName("spin")));
     EXPECT_TRUE(filter.isMachineSpecific(mod->functionByName("sys")));
     EXPECT_FALSE(filter.isMachineSpecific(mod->functionByName("pure")));
@@ -240,8 +237,9 @@ TEST(Pipeline, MobileCallSitesRewrittenToStub)
                 inst->callee()->name() == "nol.offload.getAITurn") {
                 stub_called = true;
             }
-            if (inst->op() == ir::Opcode::Call)
+            if (inst->op() == ir::Opcode::Call) {
                 EXPECT_NE(inst->callee()->name(), "getAITurn");
+            }
         }
     }
     EXPECT_TRUE(stub_called);

@@ -387,7 +387,11 @@ TEST(Interp, StackOverflowIsGuestError)
 {
     EXPECT_THROW(run(R"(
         int burn(int n) {
-            int pad[512];
+            /* 32 KiB per guest frame: trips the 16 MiB guest stack
+               guard within ~512 frames, long before the recursive host
+               interpreter (2 host frames per guest frame, larger still
+               under ASan) can exhaust its own stack. */
+            int pad[8192];
             pad[0] = n;
             return burn(n + 1) + pad[0];
         }

@@ -137,6 +137,61 @@ TEST(ModuleTest, VerifierCatchesMissingTerminator)
     EXPECT_NE(problems[0].find("terminator"), std::string::npos);
 }
 
+TEST(ModuleTest, VerifierCatchesEmptyBlock)
+{
+    Module m("m");
+    const FunctionType *ft = m.types().functionTy(m.types().voidTy(), {});
+    Function *fn = m.createFunction("f", ft);
+    fn->materializeArgs();
+    IRBuilder b(m);
+    b.setInsertPoint(fn->createBlock("entry"));
+    b.ret();
+    fn->createBlock("stray"); // never filled in
+    auto problems = verifyModule(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("empty block"), std::string::npos);
+}
+
+TEST(ModuleTest, VerifierCatchesTypeMismatchedCall)
+{
+    Module m("m");
+    const FunctionType *binary_ft = m.types().functionTy(
+        m.types().i32(), {m.types().i32(), m.types().i32()});
+    Function *callee = m.createFunction("twoArgs", binary_ft);
+    const FunctionType *ft = m.types().functionTy(m.types().i32(), {});
+    Function *fn = m.createFunction("f", ft);
+    fn->materializeArgs();
+    IRBuilder b(m);
+    b.setInsertPoint(fn->createBlock("entry"));
+    Instruction *bad = // one argument too many for a non-variadic callee
+        b.call(callee, {m.constI32(1), m.constI32(2), m.constI32(3)});
+    b.ret(bad);
+    auto problems = verifyModule(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("argument count"), std::string::npos);
+    EXPECT_NE(problems[0].find("twoArgs"), std::string::npos);
+}
+
+TEST(ModuleTest, VerifierCatchesOperandFromAnotherFunction)
+{
+    Module m("m");
+    const FunctionType *ft = m.types().functionTy(m.types().i32(), {});
+    Function *donor = m.createFunction("donor", ft);
+    donor->materializeArgs();
+    IRBuilder b(m);
+    b.setInsertPoint(donor->createBlock("entry"));
+    Instruction *orphan = b.binary(Opcode::Add, m.constI32(1), m.constI32(2));
+    b.ret(orphan);
+
+    Function *thief = m.createFunction("thief", ft);
+    thief->materializeArgs();
+    b.setInsertPoint(thief->createBlock("entry"));
+    b.ret(orphan); // value belongs to @donor
+    auto problems = verifyModule(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("another function"), std::string::npos);
+}
+
 TEST(ModuleTest, CloneIsDeepAndEquivalent)
 {
     auto mod = compile(R"(

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Offload-safety verification CLI. Compiles workloads through the full
+ * pipeline and runs the post-partition verifier over the emitted
+ * mobile/server module pairs; CI treats any diagnostic as a failure.
+ *
+ * Usage:
+ *   nol-verify             verify all 17 workloads + chess
+ *   nol-verify <id>...     verify selected workloads ("chess" allowed)
+ *   nol-verify --corpus    self-test: every intentionally-broken module
+ *                          pair must be rejected with the expected
+ *                          diagnostic and a witness
+ *   -v                     print warnings/notes too, plus shrink stats
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/corpus.hpp"
+#include "core/nativeoffloader.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nol::core::CompileRequest;
+using nol::core::Program;
+using nol::support::DiagSeverity;
+using nol::support::Diagnostic;
+using nol::support::DiagnosticEngine;
+
+int
+verifyWorkload(const nol::workloads::WorkloadSpec &spec, bool verbose)
+{
+    CompileRequest req;
+    req.name = spec.id;
+    req.source = spec.source;
+    req.profilingInput = spec.profilingInput;
+    // Match the bench setup: generous static estimator, scaled
+    // consistently with the workload's byte counts.
+    req.staticBandwidthMbps = 844.0 / spec.memScale;
+    Program program = Program::compile(req);
+
+    DiagnosticEngine engine = program.verify();
+    const auto &partition = program.compiled().partition;
+    const auto &unify = program.compiled().unifyStats;
+
+    size_t shown = 0;
+    for (const Diagnostic &diag : engine.diagnostics()) {
+        if (diag.severity != DiagSeverity::Error && !verbose)
+            continue;
+        std::fprintf(stderr, "%s\n", diag.str().c_str());
+        ++shown;
+    }
+    std::printf(
+        "%-16s %-7s %zu diagnostics, %zu targets, "
+        "uva-globals %zu/%zu (conservative %zu), fptr-map %zu "
+        "(conservative %zu)\n",
+        spec.id.c_str(), engine.hasErrors() ? "FAIL" : "ok",
+        engine.size(), partition.targets.size(), unify.uvaGlobals,
+        unify.totalGlobals, unify.uvaGlobalsConservative,
+        partition.fptrMap.size(), partition.fptrMapConservative);
+    return engine.hasErrors() ? 1 : 0;
+}
+
+int
+runCorpusSelfTest(bool verbose)
+{
+    int failures = 0;
+    for (const nol::analysis::CorpusOutcome &outcome :
+         nol::analysis::runBrokenCorpus()) {
+        bool ok = outcome.passed();
+        std::printf("corpus %-28s %-4s (expect %s%s%s)\n",
+                    outcome.name.c_str(), ok ? "ok" : "FAIL",
+                    outcome.expectCode.c_str(),
+                    outcome.fired ? "" : ", did not fire",
+                    outcome.witnessed ? "" : ", no witness");
+        if (!ok || verbose)
+            std::fprintf(stderr, "%s", outcome.rendered.c_str());
+        failures += ok ? 0 : 1;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool verbose = false;
+    bool corpus = false;
+    std::vector<std::string> ids;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-v") == 0)
+            verbose = true;
+        else if (std::strcmp(argv[i], "--corpus") == 0)
+            corpus = true;
+        else
+            ids.push_back(argv[i]);
+    }
+
+    if (corpus)
+        return runCorpusSelfTest(verbose);
+
+    std::vector<nol::workloads::WorkloadSpec> specs;
+    if (ids.empty()) {
+        for (const auto &spec : nol::workloads::allWorkloads())
+            specs.push_back(spec);
+        specs.push_back(nol::workloads::makeChess(3));
+    } else {
+        for (const std::string &id : ids) {
+            if (id == "chess") {
+                specs.push_back(nol::workloads::makeChess(3));
+                continue;
+            }
+            const auto *spec = nol::workloads::workloadById(id);
+            if (spec == nullptr) {
+                std::fprintf(stderr, "unknown workload '%s'\n",
+                             id.c_str());
+                return 2;
+            }
+            specs.push_back(*spec);
+        }
+    }
+
+    int failures = 0;
+    for (const auto &spec : specs)
+        failures += verifyWorkload(spec, verbose);
+    if (failures != 0) {
+        std::fprintf(stderr, "nol-verify: %d of %zu workloads failed\n",
+                     failures, specs.size());
+        return 1;
+    }
+    return 0;
+}
