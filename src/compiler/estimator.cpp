@@ -1,18 +1,24 @@
 #include "compiler/estimator.hpp"
 
+#include "decision/model.hpp"
+
 namespace nol::compiler {
 
 Estimate
 estimateGain(double mobile_seconds, uint64_t mem_bytes,
              uint64_t invocations, const EstimatorParams &params)
 {
+    decision::ModelParams model;
+    model.speedRatio = params.speedRatio;
+    model.bandwidthMbps = params.bandwidthMbps;
+    decision::Terms terms =
+        decision::evaluate(mobile_seconds, mem_bytes, invocations, model);
+
     Estimate est;
-    est.mobileSeconds = mobile_seconds;
-    est.idealGain = mobile_seconds * (1.0 - 1.0 / params.speedRatio);
-    double megabits = static_cast<double>(mem_bytes) * 8.0 / 1e6;
-    est.commSeconds = 2.0 * (megabits / params.bandwidthMbps) *
-                      static_cast<double>(invocations);
-    est.gain = est.idealGain - est.commSeconds;
+    est.mobileSeconds = terms.mobileSeconds;
+    est.idealGain = terms.idealGain;
+    est.commSeconds = terms.commSeconds;
+    est.gain = terms.gain;
     return est;
 }
 

@@ -6,8 +6,13 @@
  *
  * where Tm is mobile execution time, R the server/mobile speed ratio,
  * M the task's memory footprint and BW the network bandwidth. Shared
- * data is counted twice (to the server and back). The same equation is
- * reused at run time by the dynamic estimator with live parameters.
+ * data is counted twice (to the server and back).
+ *
+ * The arithmetic itself lives in decision::Model (src/decision) — the
+ * single home of Equation 1 shared with the runtime's per-session
+ * decision::Engine; this header is the compile-time adapter that
+ * applies it to profiled regions and keeps the Table 3 `Estimate`
+ * shape the rest of the compiler consumes.
  */
 #ifndef NOL_COMPILER_ESTIMATOR_HPP
 #define NOL_COMPILER_ESTIMATOR_HPP
@@ -42,7 +47,7 @@ struct Estimate {
     bool profitable() const { return gain > 0; }
 };
 
-/** Apply Equation 1 to raw quantities. */
+/** Apply Equation 1 (decision::evaluate) to raw quantities. */
 Estimate estimateGain(double mobile_seconds, uint64_t mem_bytes,
                       uint64_t invocations, const EstimatorParams &params);
 

@@ -71,6 +71,18 @@ class Program
      * offload server on a shared timeline: contended wireless medium,
      * bounded-concurrency admission, per-session UVA namespaces. A
      * single-client fleet reproduces run() exactly.
+     *
+     * Each client's SystemConfig selects its decision-stack extras:
+     * `fleetPriorsEnabled` seeds the session's DecisionEngine from the
+     * server's cross-session knowledge base at admission (cold-start
+     * offloads saved are reported via RunReport::coldStartOffloads and
+     * FleetReport::priorsSeeded*), and `admissionAwareDecision` feeds
+     * the server load snapshot into Eq. 1's queue-wait term (locals
+     * chosen that way are counted in FleetReport::
+     * totalQueueAvoidedLocals). Both default off; with both off the
+     * fleet is bit-identical to earlier releases. Every per-call
+     * verdict is returned with full provenance in
+     * RunReport::decisions.
      */
     runtime::FleetReport
     runFleet(const std::vector<runtime::FleetClient> &clients,

@@ -1,0 +1,34 @@
+#include "decision/priors.hpp"
+
+namespace nol::decision {
+
+void
+FleetPriors::recordObservation(const std::string &target,
+                               double mobile_equiv_seconds,
+                               uint64_t traffic_bytes)
+{
+    TargetPrior &prior = table_[target];
+    double alpha = prior.observations == 0 ? 1.0 : 0.5;
+    prior.mobileSecondsPerInvocation =
+        (1 - alpha) * prior.mobileSecondsPerInvocation +
+        alpha * mobile_equiv_seconds;
+    prior.memBytes = static_cast<uint64_t>(
+        (1 - alpha) * static_cast<double>(prior.memBytes) +
+        alpha * static_cast<double>(traffic_bytes) / 2.0);
+    ++prior.observations;
+}
+
+void
+FleetPriors::recordFailure(const std::string &target)
+{
+    ++table_[target].totalFailures;
+}
+
+const TargetPrior *
+FleetPriors::lookup(const std::string &target) const
+{
+    auto it = table_.find(target);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+} // namespace nol::decision

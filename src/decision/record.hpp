@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Decision provenance. Every decision::Engine::decide() produces a
+ * DecisionRecord carrying the complete story of that decision — which
+ * knowledge it read, which Equation 1 terms it computed, which server
+ * load it saw, and *why* it reached its verdict — so tests and benches
+ * assert against the reasoning, not just the outcome.
+ *
+ * Records flow through RecordSink, a DiagnosticEngine-style collector
+ * interface: the session wires a RecordLog, the log ends up in the
+ * RunReport, and "why did client 3 stay local on call 7?" is one
+ * lookup instead of a re-run under a debugger.
+ */
+#ifndef NOL_DECISION_RECORD_HPP
+#define NOL_DECISION_RECORD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decision/model.hpp"
+
+namespace nol::decision {
+
+/** Why a decision came out the way it did. */
+enum class Verdict {
+    Offload,       ///< Equation 1 gain positive: ship it
+    ProbeOffload,  ///< the single post-suppression recovery probe
+    UnknownTarget, ///< no knowledge for this target: stay local
+    Suppressed,    ///< inside a failover-suppression window: no probe
+    ProbePending,  ///< recovery probe already granted, not yet resolved
+    Unprofitable,  ///< Equation 1 gain non-positive: stay local
+    QueueErased,   ///< gain positive, but the predicted admission-queue
+                   ///< wait erases it: stay local (admission-aware)
+};
+
+/** Stable machine-checkable name, e.g. "queue-erased". */
+const char *verdictName(Verdict verdict);
+
+/** One-line human explanation of @p verdict. */
+const char *verdictReason(Verdict verdict);
+
+/** Everything the engine read to decide. */
+struct DecisionInputs {
+    double mobileSecondsPerInvocation = 0; ///< Tm per call (knowledge)
+    uint64_t memBytes = 0;                 ///< M (knowledge)
+    uint64_t observations = 0;   ///< 0 = deciding cold, on seed data only
+    uint64_t consecutiveFailures = 0;
+    double suppressedUntilSeconds = 0;
+    double speedRatio = 0;       ///< R
+    double bandwidthMbps = 0;    ///< BW
+    bool knownTarget = false;
+    bool admissionAware = false; ///< a LoadSnapshot was consulted
+    LoadSnapshot load;           ///< all-zero unless admissionAware
+};
+
+/** One decision with its full provenance. */
+struct DecisionRecord {
+    std::string target;
+    uint64_t sequence = 0; ///< per-engine decide() counter (from 1)
+    double nowSeconds = 0; ///< mobile clock at decision time
+    Verdict verdict = Verdict::UnknownTarget;
+
+    // Outcome flags, kept redundant with `verdict` for ergonomic
+    // assertions and for the session's hot path.
+    bool offload = false;    ///< Offload or ProbeOffload
+    bool suppressed = false; ///< Suppressed
+    bool probe = false;      ///< ProbeOffload (consumed the one probe)
+
+    DecisionInputs inputs;
+    Terms terms; ///< all-zero when Equation 1 was never evaluated
+
+    /** The verdict's one-line explanation. */
+    const char *reason() const { return verdictReason(verdict); }
+
+    /** Render like "#3 @t=1.25s hot: offload [offload] Tg=4.1s ...". */
+    std::string str() const;
+};
+
+/** Receiver of decision records (DiagnosticEngine-style). */
+class RecordSink
+{
+  public:
+    virtual ~RecordSink() = default;
+    virtual void onDecision(const DecisionRecord &record) = 0;
+};
+
+/** Collecting sink with verdict accounting and rendering. */
+class RecordLog : public RecordSink
+{
+  public:
+    void onDecision(const DecisionRecord &record) override
+    {
+        records_.push_back(record);
+    }
+
+    const std::vector<DecisionRecord> &records() const { return records_; }
+
+    /** All records for @p target, in decision order. */
+    std::vector<const DecisionRecord *>
+    byTarget(const std::string &target) const;
+
+    /** All records with @p verdict, in decision order. */
+    std::vector<const DecisionRecord *> byVerdict(Verdict verdict) const;
+
+    size_t count(Verdict verdict) const;
+
+    /** Render every record, one line each. */
+    std::string render() const;
+
+    bool empty() const { return records_.empty(); }
+    size_t size() const { return records_.size(); }
+
+    /** Move the records out (for handing to a RunReport). */
+    std::vector<DecisionRecord> take() { return std::move(records_); }
+
+  private:
+    std::vector<DecisionRecord> records_;
+};
+
+} // namespace nol::decision
+
+#endif // NOL_DECISION_RECORD_HPP

@@ -16,9 +16,9 @@
 #include <vector>
 
 #include "compiler/driver.hpp"
+#include "decision/record.hpp"
 #include "net/simnetwork.hpp"
 #include "runtime/comm.hpp"
-#include "runtime/dynestimator.hpp"
 #include "runtime/uva.hpp"
 #include "sim/simmachine.hpp"
 
@@ -41,6 +41,23 @@ struct SystemConfig {
      * cache-off runs are bit-identical to the legacy paths.
      */
     bool pageCacheEnabled = false;
+    /**
+     * Fleet mode: seed each session's decision::Engine from the
+     * server-side decision::FleetPriors knowledge base at admission,
+     * so later arrivals skip the cold-start probe offloads earlier
+     * sessions already paid for. Inert solo and when off: such runs
+     * are bit-identical to the priors-free path.
+     */
+    bool fleetPriorsEnabled = false;
+    /**
+     * Fleet mode: admission-aware Equation 1. Each dynamic decision
+     * subtracts the expected queue wait E[wait | queue depth, slot
+     * pool, mean hold time] — derived from the server's live
+     * ServerRuntime::loadSnapshot() — from the estimated gain, so a
+     * client facing a saturated slot pool runs locally instead of
+     * queueing toward an admission denial. Inert solo and when off.
+     */
+    bool admissionAwareDecision = false;
     uint64_t fnPtrTranslateCost = 60; ///< units per server indirect call
     uint64_t stepLimit = 4'000'000'000ull;
     /** Deterministic network fault schedule (disabled by default: the
@@ -70,6 +87,9 @@ struct OffloadEvent {
                               ///< window (no link probe at all)
     bool overflow = false;    ///< server admission denied (fleet mode);
                               ///< the target ran locally instead
+    bool queueAvoided = false; ///< admission-aware Eq. 1 predicted a
+                               ///< queue wait that erased the gain; ran
+                               ///< locally without contacting the server
     double estimatedGain = 0;
     double trafficBytes = 0;     ///< wire bytes this invocation
     double rawTrafficBytes = 0;  ///< pre-compression bytes this invocation
@@ -112,6 +132,16 @@ struct RunReport {
     uint64_t digestHandshakes = 0;    ///< cache-aware prefetches
     uint64_t prefetchPagesSent = 0;   ///< prefetch pages this client sent
     uint64_t prefetchPagesCached = 0; ///< pages served without a transfer
+
+    // Decision-stack accounting (decision::Engine provenance).
+    uint64_t coldStartOffloads = 0;   ///< offload verdicts taken with zero
+                                      ///< runtime observations of the target
+    uint64_t queueAvoidedLocals = 0;  ///< queue-erased verdicts (ran local)
+    uint64_t priorsSeededTargets = 0; ///< targets seeded from FleetPriors
+
+    /** Every dynamic decision this run took, with full provenance:
+     *  inputs, Equation 1 terms, verdict and reason. */
+    std::vector<decision::DecisionRecord> decisions;
 
     std::vector<OffloadEvent> events;
     std::vector<sim::PowerSegment> powerTimeline;

@@ -89,15 +89,16 @@ AdmissionResult
 ServerRuntime::acquire(sim::Strand &strand, uint64_t session_id,
                        double now_ns)
 {
-    (void)session_id;
     NOL_ASSERT(loop_ != nullptr, "admission outside a fleet run");
     AdmissionResult res;
     // Admission is shared state: decide inside an event so concurrent
     // requests serialize in virtual-time order (see eventloop.hpp).
-    loop_->schedule(now_ns, [this, &strand, &res, now_ns] {
+    loop_->schedule(now_ns, [this, &strand, &res, session_id, now_ns] {
         if (active_ < policy_.maxConcurrentSessions) {
             ++active_;
             peak_active_ = std::max(peak_active_, active_);
+            hold_start_ns_[session_id] = now_ns;
+            publishLoad();
             res.granted = true;
             loop_->wake(strand, now_ns);
             return;
@@ -105,6 +106,7 @@ ServerRuntime::acquire(sim::Strand &strand, uint64_t session_id,
         Waiter waiter;
         waiter.strand = &strand;
         waiter.result = &res;
+        waiter.sessionId = session_id;
         waiter.enqueueNs = now_ns;
         double deadline = now_ns + policy_.maxQueueWaitSeconds * 1e9;
         waiter.timeoutEvent =
@@ -117,10 +119,12 @@ ServerRuntime::acquire(sim::Strand &strand, uint64_t session_id,
                 }
                 res.granted = false;
                 ++admission_denials_;
+                publishLoad();
                 loop_->wake(strand, deadline);
             });
         queue_.push_back(waiter);
         ++admission_waits_;
+        publishLoad();
     });
     double wake_ns = loop_->block(strand);
     res.wakeNs = wake_ns;
@@ -132,18 +136,25 @@ ServerRuntime::acquire(sim::Strand &strand, uint64_t session_id,
 void
 ServerRuntime::release(uint64_t session_id, double now_ns)
 {
-    (void)session_id;
     NOL_ASSERT(loop_ != nullptr, "release outside a fleet run");
-    loop_->schedule(now_ns, [this, now_ns] {
+    loop_->schedule(now_ns, [this, session_id, now_ns] {
+        auto held = hold_start_ns_.find(session_id);
+        if (held != hold_start_ns_.end()) {
+            hold_total_ns_ += now_ns - held->second;
+            ++hold_count_;
+            hold_start_ns_.erase(held);
+        }
         if (queue_.empty()) {
             NOL_ASSERT(active_ > 0, "slot released but none held");
             --active_;
+            publishLoad();
             return;
         }
         // The freed slot passes directly to the FIFO head; active_ is
         // unchanged (one out, one in).
         grant(queue_.front(), now_ns);
         queue_.pop_front();
+        publishLoad();
     });
 }
 
@@ -151,8 +162,22 @@ void
 ServerRuntime::grant(Waiter waiter, double now_ns)
 {
     loop_->cancel(waiter.timeoutEvent);
+    hold_start_ns_[waiter.sessionId] = now_ns;
     waiter.result->granted = true;
     loop_->wake(*waiter.strand, now_ns);
+}
+
+void
+ServerRuntime::publishLoad()
+{
+    load_.slotPool = policy_.maxConcurrentSessions;
+    load_.activeSessions = active_;
+    load_.queueDepth = static_cast<uint32_t>(queue_.size());
+    load_.completedHolds = hold_count_;
+    load_.meanHoldSeconds =
+        hold_count_ > 0
+            ? (hold_total_ns_ * 1e-9) / static_cast<double>(hold_count_)
+            : 0.0;
 }
 
 // ---------------------------------------------------------------------------
@@ -365,6 +390,13 @@ ServerRuntime::run(const std::vector<FleetClient> &clients)
     admission_wait_ns_ = 0;
     peak_active_ = 0;
 
+    // Run-scoped decision-stack state: fresh load ledger and priors.
+    hold_start_ns_.clear();
+    hold_total_ns_ = 0;
+    hold_count_ = 0;
+    priors_ = decision::FleetPriors{};
+    publishLoad();
+
     // Sharing pages across sessions only makes sense with peers; a
     // 1-client fleet keeps the legacy prefetch path bit-identical.
     cache_active_ = cache_policy_.enabled && clients.size() >= 2;
@@ -420,6 +452,8 @@ ServerRuntime::run(const std::vector<FleetClient> &clients)
         fleet.totalOffloads += result.report.offloads;
         fleet.totalLocalRuns += result.report.localRuns;
         fleet.totalFailovers += result.report.failovers;
+        fleet.totalColdStartOffloads += result.report.coldStartOffloads;
+        fleet.totalQueueAvoidedLocals += result.report.queueAvoidedLocals;
         fleet.serverBusySeconds += result.report.breakdown.serverCompute +
                                    result.report.breakdown.fnPtrTranslation;
     }
@@ -433,6 +467,8 @@ ServerRuntime::run(const std::vector<FleetClient> &clients)
     fleet.cache = cache_stats_;
     fleet.cache.insertedPages = cache_->insertedPages();
     fleet.cache.evictedPages = cache_->evictedPages();
+    fleet.priorsSeededSessions = priors_.seededSessions();
+    fleet.priorsSeededTargets = priors_.seededTargets();
     if (fleet.makespanSeconds > 0) {
         fleet.offloadsPerSecond =
             static_cast<double>(fleet.totalOffloads) / fleet.makespanSeconds;

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "decision/model.hpp"
+#include "decision/priors.hpp"
 #include "runtime/session.hpp"
 #include "runtime/uva.hpp"
 #include "sim/pagedmemory.hpp"
@@ -168,6 +170,12 @@ struct FleetReport {
     uint32_t peakConcurrentSessions = 0; ///< admitted at once
     uint32_t peakConcurrentFlows = 0;    ///< medium contention peak
     PageCacheStats cache;                ///< all-zero when cache is off
+
+    // Decision-stack accounting (all-zero when both flags are off).
+    uint64_t priorsSeededSessions = 0;   ///< sessions seeded ≥1 target
+    uint64_t priorsSeededTargets = 0;    ///< Σ targets seeded from priors
+    uint64_t totalColdStartOffloads = 0; ///< Σ zero-observation offloads
+    uint64_t totalQueueAvoidedLocals = 0; ///< Σ queue-erased verdicts
 };
 
 /** The offload server plus the fleet harness around it. */
@@ -193,6 +201,24 @@ class ServerRuntime
 
     /** Return a slot; the head waiter (if any) inherits it directly. */
     void release(uint64_t session_id, double now_ns);
+
+    /**
+     * The server's live load, republished on every grant, queue change
+     * and release: slot pool size, active sessions, queue depth and the
+     * mean slot-hold time of completed holds. Sessions read it
+     * synchronously (single-threaded event loop, no tearing) to feed
+     * the admission-aware queue-wait term of Equation 1.
+     */
+    const decision::LoadSnapshot &loadSnapshot() const { return load_; }
+
+    /**
+     * Fleet-wide per-target knowledge base (speed ratio observations,
+     * per-invocation seconds, traffic, failure history) aggregated
+     * across sessions. New sessions seed their decision::Engine from it
+     * at admission when SystemConfig::fleetPriorsEnabled. Reset at the
+     * start of every run().
+     */
+    decision::FleetPriors &fleetPriors() { return priors_; }
 
     /** The per-session UVA namespace (created on first use). */
     UvaManager &namespaceFor(uint64_t session_id);
@@ -270,6 +296,7 @@ class ServerRuntime
     struct Waiter {
         sim::Strand *strand = nullptr;
         AdmissionResult *result = nullptr;
+        uint64_t sessionId = 0;
         double enqueueNs = 0;
         uint64_t timeoutEvent = 0;
     };
@@ -298,6 +325,7 @@ class ServerRuntime
     };
 
     void grant(Waiter waiter, double now_ns);
+    void publishLoad();
     void flushWave(uint64_t wave_id, double now_ns);
     void waveArrived(uint64_t wave_id, double now_ns);
 
@@ -316,6 +344,16 @@ class ServerRuntime
     uint64_t admission_denials_ = 0;
     double admission_wait_ns_ = 0;
     uint32_t peak_active_ = 0;
+
+    // Live load bookkeeping behind loadSnapshot(). Hold times are
+    // measured grant→release per session; the mean feeds E[wait].
+    decision::LoadSnapshot load_;
+    std::map<uint64_t, double> hold_start_ns_; ///< session → grant time
+    double hold_total_ns_ = 0;
+    uint64_t hold_count_ = 0;
+
+    // Fleet-shared decision priors (run-scoped, see fleetPriors()).
+    decision::FleetPriors priors_;
 
     // Page cache + batcher (run-scoped like the admission state).
     bool cache_active_ = false;

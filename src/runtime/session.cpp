@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "compiler/partitioner.hpp"
+#include "decision/engine.hpp"
 #include "interp/externals.hpp"
 #include "interp/interp.hpp"
 #include "interp/loader.hpp"
@@ -41,7 +42,8 @@ struct Session::Impl {
     UvaManager &uva;
     interp::ProgramImage mobileImage;
     interp::ProgramImage serverImage;
-    DynamicEstimator dyn;
+    decision::Engine dyn;
+    decision::RecordLog decisionLog; ///< provenance of every decide()
     std::map<std::string, TargetEntry> targetsByStub;
 
     uint64_t offloads = 0;
@@ -62,6 +64,10 @@ struct Session::Impl {
     double admissionWaitNs = 0;
     bool slotHeld = false;
 
+    // Decision-stack accounting.
+    uint64_t queueAvoidedLocals = 0;
+    uint64_t priorsSeededTargets = 0;
+
     Impl(const compiler::CompiledProgram &program,
          const SystemConfig &config, const FleetHooks &hooks)
         : prog(program), cfg(config), fleet(hooks),
@@ -79,6 +85,13 @@ struct Session::Impl {
                   .effectiveBitsPerSecond())
     {
         network.setFaultPlan(config.faultPlan);
+        dyn.setSink(&decisionLog);
+        if (fleet.server != nullptr && cfg.fleetPriorsEnabled) {
+            // Publish observations fleet-wide and read the knowledge
+            // base at run() start. Strictly flag-gated: with priors
+            // off the engine never touches the server's base.
+            dyn.attachFleetPriors(&fleet.server->fleetPriors());
+        }
         mobile.power().setRate(sim::PowerState::Receive,
                                config.network.receiveMw);
         mobile.power().setRate(sim::PowerState::Transmit,
@@ -406,24 +419,36 @@ class MobileEnv : public interp::DefaultEnv
         if (ctx_.cfg.idealOffload)
             return runIdeal(interp, target, args);
 
-        // Dynamic performance estimation (paper Sec. 4), extended with
-        // failover suppression: a recently flaky link keeps the target
-        // local without even probing, until the recovery window passes.
-        DynDecision decision;
+        // Dynamic performance estimation (paper Sec. 4), run through
+        // the layered decision engine: failover suppression, single
+        // recovery probes and — when admission-aware — the predicted
+        // queue wait all speak through one DecisionRecord.
+        decision::DecisionRecord decision;
         decision.offload = true;
         if (ctx_.cfg.dynamicDecision) {
             ctx_.mobile.advanceCompute(30); // estimation cost
-            decision =
-                ctx_.dyn.decide(target.name, ctx_.mobile.nowNs() * 1e-9);
+            const decision::LoadSnapshot *load = nullptr;
+            if (ctx_.cfg.admissionAwareDecision &&
+                ctx_.fleet.server != nullptr) {
+                load = &ctx_.fleet.server->loadSnapshot();
+            }
+            decision = ctx_.dyn.decide(target.name,
+                                       ctx_.mobile.nowNs() * 1e-9, load);
         }
         if (!decision.offload) {
+            bool queue_avoided =
+                decision.verdict == decision::Verdict::QueueErased;
             return runLocal(interp, target, args, /*declined=*/true,
-                            decision.suppressed);
+                            decision.suppressed, /*overflow=*/false,
+                            queue_avoided);
         }
         // Fleet mode: the server must admit this offloading process.
         // A denied (queue-timeout) request overflows to local
         // execution — degraded, never deadlocked.
         if (!ctx_.acquireServerSlot()) {
+            // The link was never exercised: return a granted recovery
+            // probe un-spent so the next decide() may probe again.
+            ctx_.dyn.cancelProbe(target.name);
             return runLocal(interp, target, args, /*declined=*/true,
                             /*suppressed=*/false, /*overflow=*/true);
         }
@@ -433,9 +458,12 @@ class MobileEnv : public interp::DefaultEnv
     RtVal
     runLocal(interp::Interp &interp, const TargetEntry &target,
              const std::vector<RtVal> &args, bool declined,
-             bool suppressed = false, bool overflow = false)
+             bool suppressed = false, bool overflow = false,
+             bool queue_avoided = false)
     {
         ++ctx_.localRuns;
+        if (queue_avoided)
+            ++ctx_.queueAvoidedLocals;
         double start = ctx_.mobile.nowNs();
         RtVal ret = interp.call(target.mobileFn, args);
         if (declined) {
@@ -448,6 +476,7 @@ class MobileEnv : public interp::DefaultEnv
         event.offloaded = false;
         event.suppressed = suppressed;
         event.overflow = overflow;
+        event.queueAvoided = queue_avoided;
         ctx_.events.push_back(event);
         return ret;
     }
@@ -595,7 +624,8 @@ class MobileEnv : public interp::DefaultEnv
 
     RtVal
     runRemote(interp::Interp &interp, const TargetEntry &target,
-              const DynDecision &decision, std::vector<RtVal> &args)
+              const decision::DecisionRecord &decision,
+              std::vector<RtVal> &args)
     {
         // A perfect link can never fail a transfer, so the snapshot is
         // only needed (and only paid for) when faults are injected.
@@ -616,7 +646,8 @@ class MobileEnv : public interp::DefaultEnv
     }
 
     RtVal
-    executeRemote(const TargetEntry &target, const DynDecision &decision,
+    executeRemote(const TargetEntry &target,
+                  const decision::DecisionRecord &decision,
                   std::vector<RtVal> &args)
     {
         uint64_t wire_before = ctx_.comm.totalWireBytes();
@@ -719,7 +750,7 @@ class MobileEnv : public interp::DefaultEnv
         OffloadEvent event;
         event.target = target.name;
         event.offloaded = true;
-        event.estimatedGain = decision.estimate.gain;
+        event.estimatedGain = decision.terms.gain;
         event.trafficBytes = static_cast<double>(
             ctx_.comm.totalWireBytes() - wire_before);
         event.rawTrafficBytes = static_cast<double>(
@@ -833,6 +864,12 @@ Session::Impl::run(const RunInput &input)
         }
     }
 
+    // Admission handshake with the fleet knowledge base: overlay what
+    // peers already observed on top of the compile-time seeds, so a
+    // late arrival never decides cold on a target the fleet knows.
+    if (fleet.server != nullptr && cfg.fleetPriorsEnabled)
+        priorsSeededTargets = dyn.seedFromPriors();
+
     MobileEnv env(*this);
     interp::Interp interp(mobile, mobile_module, mobileImage, env);
     interp.setStepLimit(cfg.stepLimit);
@@ -883,6 +920,13 @@ Session::Impl::run(const RunInput &input)
     report.digestHandshakes = digestHandshakes;
     report.prefetchPagesSent = prefetchPagesSent;
     report.prefetchPagesCached = prefetchPagesCached;
+    report.queueAvoidedLocals = queueAvoidedLocals;
+    report.priorsSeededTargets = priorsSeededTargets;
+    report.decisions = decisionLog.take();
+    for (const decision::DecisionRecord &record : report.decisions) {
+        if (record.offload && record.inputs.observations == 0)
+            ++report.coldStartOffloads;
+    }
     report.events = events;
     report.powerTimeline = mobile.power().timeline();
     return report;

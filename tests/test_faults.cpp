@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/driver.hpp"
+#include "decision/engine.hpp"
 #include "frontend/codegen.hpp"
 #include "net/simnetwork.hpp"
 #include "runtime/offload.hpp"
@@ -204,18 +205,18 @@ TEST(faults, TimeoutCoversExpectedTransfer)
 
 TEST(faults, SuppressionWindowGrowsAndCaps)
 {
-    EXPECT_DOUBLE_EQ(DynamicEstimator::failurePenaltySeconds(1), 0.5);
-    EXPECT_DOUBLE_EQ(DynamicEstimator::failurePenaltySeconds(2), 1.0);
-    EXPECT_DOUBLE_EQ(DynamicEstimator::failurePenaltySeconds(3), 2.0);
-    EXPECT_DOUBLE_EQ(DynamicEstimator::failurePenaltySeconds(64), 120.0);
+    EXPECT_DOUBLE_EQ(decision::Engine::failurePenaltySeconds(1), 0.5);
+    EXPECT_DOUBLE_EQ(decision::Engine::failurePenaltySeconds(2), 1.0);
+    EXPECT_DOUBLE_EQ(decision::Engine::failurePenaltySeconds(3), 2.0);
+    EXPECT_DOUBLE_EQ(decision::Engine::failurePenaltySeconds(64), 120.0);
     for (uint64_t n = 1; n < 30; ++n)
-        EXPECT_LE(DynamicEstimator::failurePenaltySeconds(n),
-                  DynamicEstimator::failurePenaltySeconds(n + 1));
+        EXPECT_LE(decision::Engine::failurePenaltySeconds(n),
+                  decision::Engine::failurePenaltySeconds(n + 1));
 }
 
 TEST(faults, EstimatorSuppressesAfterFailureAndProbesAfterWindow)
 {
-    DynamicEstimator dyn(5.0, 844e6);
+    decision::Engine dyn(5.0, 844e6);
     dyn.seed("t", /*Tm=*/10.0, /*M=*/1'000'000); // clearly profitable
     ASSERT_TRUE(dyn.decide("t", 0.0).offload);
 

@@ -3,17 +3,17 @@
  * Unit tests of the runtime's building blocks in isolation: the
  * program loader (address assignment across machines), the UVA
  * manager, the communication manager (clock coordination, batching,
- * per-category accounting, compressed write-back) and the dynamic
- * estimator.
+ * per-category accounting, compressed write-back) and the per-session
+ * decision engine.
  */
 #include <gtest/gtest.h>
 
 #include <cstring>
 
+#include "decision/engine.hpp"
 #include "frontend/codegen.hpp"
 #include "interp/loader.hpp"
 #include "runtime/comm.hpp"
-#include "runtime/dynestimator.hpp"
 #include "runtime/uva.hpp"
 
 using namespace nol;
@@ -209,13 +209,13 @@ TEST(Comm, FetchPageIsARoundTrip)
 }
 
 // ---------------------------------------------------------------------------
-// Dynamic estimator
+// Decision engine (the dynamic estimator layer)
 // ---------------------------------------------------------------------------
 
 TEST(DynEstimator, DecidesByEquationOne)
 {
     // R = 5, BW = 80 Mbps: gain = Tm*0.8 - 2*(M/BW).
-    DynamicEstimator dyn(5.0, 80e6);
+    decision::Engine dyn(5.0, 80e6);
     dyn.seed("hot", /*Tm=*/10.0, /*M=*/10'000'000); // Tc = 2s < 8s gain
     EXPECT_TRUE(dyn.decide("hot").offload);
 
@@ -228,7 +228,7 @@ TEST(DynEstimator, DecidesByEquationOne)
 
 TEST(DynEstimator, ObservationsUpdateKnowledge)
 {
-    DynamicEstimator dyn(5.0, 80e6);
+    decision::Engine dyn(5.0, 80e6);
     dyn.seed("t", 0.1, 50'000'000); // looks hopeless
     EXPECT_FALSE(dyn.decide("t").offload);
     // A local run reveals the task actually takes 100 s.
@@ -238,12 +238,87 @@ TEST(DynEstimator, ObservationsUpdateKnowledge)
 
 TEST(DynEstimator, BandwidthSensitivity)
 {
-    DynamicEstimator fast(5.0, 844e6);
-    DynamicEstimator slow(5.0, 1e6);
+    decision::Engine fast(5.0, 844e6);
+    decision::Engine slow(5.0, 1e6);
     fast.seed("t", 5.0, 20'000'000);
     slow.seed("t", 5.0, 20'000'000);
     EXPECT_TRUE(fast.decide("t").offload);  // Tc ~0.38 s
     EXPECT_FALSE(slow.decide("t").offload); // Tc 320 s
+}
+
+TEST(DynEstimator, ReseedPreservesFailureHistory)
+{
+    // Regression: the old DynamicEstimator::seed() assigned a whole
+    // fresh TargetKnowledge, silently clobbering consecutiveFailures
+    // and the suppression window on re-seed.
+    decision::Engine dyn(5.0, 844e6);
+    dyn.seed("f", 20.0, 500'000);
+    dyn.recordFailure("f", 10.0); // window [10, 10.5)
+
+    dyn.seed("f", 25.0, 600'000); // profile refresh mid-window
+    const decision::TargetKnowledge &know = dyn.knowledge().at("f");
+    EXPECT_EQ(know.consecutiveFailures, 1u);
+    EXPECT_EQ(know.totalFailures, 1u);
+    EXPECT_DOUBLE_EQ(know.suppressedUntilSeconds, 10.5);
+    // Performance knowledge did refresh.
+    EXPECT_DOUBLE_EQ(know.mobileSecondsPerInvocation, 25.0);
+    EXPECT_EQ(know.memBytes, 600'000u);
+    EXPECT_EQ(know.observations, 0u);
+
+    // And the suppression window still holds after the re-seed.
+    EXPECT_TRUE(dyn.decide("f", 10.4).suppressed);
+}
+
+TEST(DynEstimator, FailurePenaltyBoundaries)
+{
+    using decision::Engine;
+    // N = 0: no failures carry no penalty at all.
+    EXPECT_DOUBLE_EQ(Engine::failurePenaltySeconds(0), 0.0);
+    // N = 1 opens exactly the base window.
+    EXPECT_DOUBLE_EQ(Engine::failurePenaltySeconds(1),
+                     Engine::kBasePenaltySeconds);
+    // Doubling saturates exactly at the cap and stays there: with a
+    // 0.5 s base, failure 9 reaches 128 > 120, so 9 and far beyond
+    // both clamp to kMaxPenaltySeconds.
+    EXPECT_DOUBLE_EQ(Engine::failurePenaltySeconds(9),
+                     Engine::kMaxPenaltySeconds);
+    EXPECT_DOUBLE_EQ(Engine::failurePenaltySeconds(1000),
+                     Engine::kMaxPenaltySeconds);
+    // The window is monotone: never shrinks with more failures.
+    for (uint64_t n = 0; n < 70; ++n) {
+        EXPECT_LE(Engine::failurePenaltySeconds(n),
+                  Engine::failurePenaltySeconds(n + 1))
+            << "n = " << n;
+    }
+}
+
+TEST(DynEstimator, EmaConvergesUnderAlternatingTraffic)
+{
+    decision::Engine dyn(5.0, 80e6);
+    // First observation is adopted wholesale (alpha = 1).
+    dyn.observe("t", 8.0, 4'000'000);
+    EXPECT_DOUBLE_EQ(
+        dyn.knowledge().at("t").mobileSecondsPerInvocation, 8.0);
+    EXPECT_EQ(dyn.knowledge().at("t").memBytes, 2'000'000u); // traffic/2
+
+    // Alternate between two traffic regimes: the EMA (alpha = 0.5)
+    // must settle strictly between them instead of tracking either
+    // extreme or diverging.
+    for (int i = 0; i < 64; ++i) {
+        bool high = i % 2 == 0;
+        dyn.observe("t", high ? 12.0 : 4.0,
+                    high ? 8'000'000u : 2'000'000u);
+    }
+    const decision::TargetKnowledge &know = dyn.knowledge().at("t");
+    EXPECT_GT(know.mobileSecondsPerInvocation, 4.0);
+    EXPECT_LT(know.mobileSecondsPerInvocation, 12.0);
+    EXPECT_GT(know.memBytes, 1'000'000u);
+    EXPECT_LT(know.memBytes, 4'000'000u);
+    // With alpha = 0.5 the fixed-point cycle of x -> (x + v)/2 over
+    // alternating v ∈ {4, 12} oscillates within [20/3, 28/3]; after 64
+    // observations the state is deep inside that band.
+    EXPECT_NEAR(know.mobileSecondsPerInvocation, 8.0, 1.4);
+    EXPECT_EQ(know.observations, 65u);
 }
 
 // ---------------------------------------------------------------------------
@@ -358,22 +433,23 @@ TEST(Comm, ReconnectWithinBudgetDelivers)
 }
 
 // ---------------------------------------------------------------------------
-// DynamicEstimator failover suppression
+// Decision engine failover suppression
 // ---------------------------------------------------------------------------
 
 TEST(DynEstimator, FailuresSuppressThenRecoveryProbes)
 {
-    DynamicEstimator dyn(5.0, 844e6);
+    decision::Engine dyn(5.0, 844e6);
     dyn.seed("f", /*Tm=*/20.0, /*M=*/500'000);
     ASSERT_TRUE(dyn.decide("f", 0.0).offload);
 
     dyn.recordFailure("f", 10.0); // window [10, 10.5)
-    DynDecision inside = dyn.decide("f", 10.4);
+    decision::DecisionRecord inside = dyn.decide("f", 10.4);
     EXPECT_FALSE(inside.offload);
     EXPECT_TRUE(inside.suppressed);
-    DynDecision after = dyn.decide("f", 10.6);
+    decision::DecisionRecord after = dyn.decide("f", 10.6);
     EXPECT_TRUE(after.offload);
     EXPECT_FALSE(after.suppressed);
+    EXPECT_TRUE(after.probe); // the one post-window recovery probe
 
     // Unrelated targets are never suppressed.
     dyn.seed("other", 20.0, 500'000);
@@ -382,7 +458,7 @@ TEST(DynEstimator, FailuresSuppressThenRecoveryProbes)
 
 TEST(DynEstimator, ConsecutiveFailuresDoubleTheWindow)
 {
-    DynamicEstimator dyn(5.0, 844e6);
+    decision::Engine dyn(5.0, 844e6);
     dyn.seed("f", 20.0, 500'000);
     double now = 0.0;
     double expected_window = 0.5;
