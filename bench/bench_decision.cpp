@@ -148,7 +148,7 @@ main()
         for (bool priors_on : {false, true}) {
             runtime::SystemConfig cfg = base_cfg;
             cfg.fleetPriorsEnabled = priors_on;
-            runtime::AdmissionPolicy policy;
+            runtime::AdmissionConfig policy;
             policy.maxQueueWaitSeconds = 1e9; // serial: never exercised
             runtime::FleetReport fleet =
                 prog.runFleet(staggeredClients(n, cfg, input, gap), policy);
@@ -190,7 +190,7 @@ main()
     for (bool aware : {false, true}) {
         runtime::SystemConfig cfg = wave_cfg;
         cfg.admissionAwareDecision = aware;
-        runtime::AdmissionPolicy policy;
+        runtime::AdmissionConfig policy;
         policy.maxConcurrentSessions = 1; // saturated slot pool
         runtime::FleetReport fleet = wave.runFleet(
             staggeredClients(wave_clients, cfg, wave_input, 2.0), policy);
@@ -210,14 +210,16 @@ main()
     TextTable admission_table;
     admission_table.header({"Queue-wait term", "offloads", "denied",
                             "denial rate", "queue-avoided locals",
-                            "makespan"});
+                            "p50 latency", "p99 latency", "makespan"});
     for (const runtime::FleetReport *fleet : {&aware_off, &aware_on}) {
+        LatencySummary lat = fleetLatencySummary(*fleet);
         admission_table.row(
             {fleet == &aware_off ? "off" : "on",
              std::to_string(fleet->totalOffloads),
              std::to_string(fleet->admissionDenials),
              fixed(denial_rate(*fleet) * 100.0, 1) + "%",
              std::to_string(fleet->totalQueueAvoidedLocals),
+             fixed(lat.p50, 3) + "s", fixed(lat.p99, 3) + "s",
              fixed(fleet->makespanSeconds, 3) + "s"});
     }
     std::printf("%s\n", admission_table.render().c_str());
@@ -263,7 +265,8 @@ main()
         "\"denials_off\": %llu, \"denials_on\": %llu, "
         "\"denial_rate_off\": %.6f, \"denial_rate_on\": %.6f, "
         "\"queue_avoided_locals_on\": %llu, \"offloads_off\": %llu, "
-        "\"offloads_on\": %llu, \"makespan_off_s\": %.6f, "
+        "\"offloads_on\": %llu, \"latency_p99_off_s\": %.6f, "
+        "\"latency_p99_on_s\": %.6f, \"makespan_off_s\": %.6f, "
         "\"makespan_on_s\": %.6f}\n}\n",
         wave_clients, (unsigned long long)aware_off.admissionDenials,
         (unsigned long long)aware_on.admissionDenials,
@@ -271,6 +274,8 @@ main()
         (unsigned long long)aware_on.totalQueueAvoidedLocals,
         (unsigned long long)aware_off.totalOffloads,
         (unsigned long long)aware_on.totalOffloads,
+        fleetLatencySummary(aware_off).p99,
+        fleetLatencySummary(aware_on).p99,
         aware_off.makespanSeconds, aware_on.makespanSeconds);
     std::fclose(json);
     std::printf("wrote BENCH_decision.json\n");

@@ -61,7 +61,7 @@ runFleetCell(const core::Program &prog,
     // minutes) offload, so the default 5 s queue timeout would deny
     // everyone past the slot count and hide the queueing behaviour
     // this bench is about. Saturation should show up as latency.
-    runtime::AdmissionPolicy policy;
+    runtime::AdmissionConfig policy;
     policy.maxQueueWaitSeconds = 1e9;
     return prog.runFleet(clients, policy);
 }
@@ -112,8 +112,8 @@ main()
         std::printf("workload %s on %s\n", workload_id.c_str(), link.name);
         TextTable table;
         table.header({"Clients", "Offloads/s", "p50 latency", "p95 latency",
-                      "makespan", "waits", "denied", "pf bytes off",
-                      "pf bytes on", "saved", "hits"});
+                      "p99 latency", "makespan", "waits", "denied",
+                      "pf bytes off", "pf bytes on", "saved", "hits"});
         for (size_t n : counts) {
             std::fprintf(stderr, "  [fleet] %s N=%zu ...\n", link.name, n);
             Cell cell;
@@ -122,12 +122,16 @@ main()
             cell.off = runFleetCell(prog, *spec, link.spec, n, false);
             cell.on = runFleetCell(prog, *spec, link.spec, n, true);
             const runtime::FleetReport &f = cell.off;
+            // One percentile definition for every column: the shared
+            // nearest-rank helper, not per-bench latency math.
+            LatencySummary lat = fleetLatencySummary(f);
             uint64_t pf_off = prefetchBytes(cell.off);
             uint64_t pf_on = prefetchBytes(cell.on);
             table.row({std::to_string(n),
                        fixed(f.offloadsPerSecond, 2),
-                       fixed(f.latencyP50Seconds, 3) + "s",
-                       fixed(f.latencyP95Seconds, 3) + "s",
+                       fixed(lat.p50, 3) + "s",
+                       fixed(lat.p95, 3) + "s",
+                       fixed(lat.p99, 3) + "s",
                        fixed(f.makespanSeconds, 3) + "s",
                        std::to_string(f.admissionWaits),
                        std::to_string(f.admissionDenials),
@@ -156,7 +160,8 @@ main()
             json,
             "    {\"network\": \"%s\", \"clients\": %zu, "
             "\"offloads_per_second\": %.6f, \"latency_p50_s\": %.6f, "
-            "\"latency_p95_s\": %.6f, \"makespan_s\": %.6f, "
+            "\"latency_p95_s\": %.6f, \"latency_p99_s\": %.6f, "
+            "\"makespan_s\": %.6f, "
             "\"total_offloads\": %llu, \"total_local_runs\": %llu, "
             "\"admission_waits\": %llu, \"admission_denials\": %llu, "
             "\"admission_wait_s\": %.6f, \"medium_busy_s\": %.6f, "
@@ -168,7 +173,8 @@ main()
             "\"cache_miss_pages\": %llu, \"cache_waves\": %llu, "
             "\"makespan_on_s\": %.6f}%s\n",
             cells[i].network, cells[i].clients, f.offloadsPerSecond,
-            f.latencyP50Seconds, f.latencyP95Seconds, f.makespanSeconds,
+            f.latencyP50Seconds, f.latencyP95Seconds,
+            fleetLatencySummary(f).p99, f.makespanSeconds,
             static_cast<unsigned long long>(f.totalOffloads),
             static_cast<unsigned long long>(f.totalLocalRuns),
             static_cast<unsigned long long>(f.admissionWaits),

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/nativeoffloader.hpp"
+#include "support/stats.hpp"
 #include "workloads/workloads.hpp"
 
 namespace nol::bench {
@@ -49,6 +50,13 @@ std::vector<WorkloadRuns> runSweep(const std::vector<std::string> &ids,
 
 /** Geometric mean of @p values (must be positive). */
 double geomean(const std::vector<double> &values);
+
+/**
+ * Per-client latency quantiles of a fleet run via the shared
+ * nearest-rank helper (support/stats.hpp) — the one percentile
+ * definition every bench table and the server itself agree on.
+ */
+LatencySummary fleetLatencySummary(const runtime::FleetReport &fleet);
 
 } // namespace nol::bench
 

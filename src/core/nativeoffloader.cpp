@@ -53,10 +53,10 @@ Program::runIdeal(const runtime::RunInput &input) const
 
 runtime::FleetReport
 Program::runFleet(const std::vector<runtime::FleetClient> &clients,
-                  runtime::AdmissionPolicy policy,
+                  runtime::AdmissionConfig admission,
                   runtime::PageCachePolicy cache) const
 {
-    runtime::ServerRuntime server(*compiled_, policy, cache);
+    runtime::ServerRuntime server(*compiled_, admission, cache);
     return server.run(clients);
 }
 

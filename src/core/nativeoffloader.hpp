@@ -86,7 +86,7 @@ class Program
      */
     runtime::FleetReport
     runFleet(const std::vector<runtime::FleetClient> &clients,
-             runtime::AdmissionPolicy policy = {},
+             runtime::AdmissionConfig admission = {},
              runtime::PageCachePolicy cache = {}) const;
 
     /** The full compile pipeline output. */

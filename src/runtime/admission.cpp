@@ -1,0 +1,137 @@
+#include "runtime/admission.hpp"
+
+#include "support/logging.hpp"
+
+namespace nol::runtime {
+
+const char *
+admissionPolicyKindName(AdmissionPolicyKind kind)
+{
+    switch (kind) {
+    case AdmissionPolicyKind::Fifo:
+        return "fifo";
+    case AdmissionPolicyKind::Priority:
+        return "priority";
+    case AdmissionPolicyKind::ShortestPredictedFirst:
+        return "spjf";
+    case AdmissionPolicyKind::FairShare:
+        return "fair";
+    }
+    return "?";
+}
+
+namespace {
+
+class FifoPolicy final : public AdmissionPolicy
+{
+  public:
+    AdmissionPolicyKind kind() const override
+    {
+        return AdmissionPolicyKind::Fifo;
+    }
+
+    size_t selectNext(const std::deque<AdmissionTicket> &queue) override
+    {
+        NOL_ASSERT(!queue.empty(), "selectNext on an empty queue");
+        return 0;
+    }
+};
+
+class PriorityPolicy final : public AdmissionPolicy
+{
+  public:
+    AdmissionPolicyKind kind() const override
+    {
+        return AdmissionPolicyKind::Priority;
+    }
+
+    size_t selectNext(const std::deque<AdmissionTicket> &queue) override
+    {
+        NOL_ASSERT(!queue.empty(), "selectNext on an empty queue");
+        size_t best = 0;
+        for (size_t i = 1; i < queue.size(); ++i) {
+            if (queue[i].request.priority > queue[best].request.priority)
+                best = i;
+        }
+        return best;
+    }
+};
+
+class ShortestPredictedFirstPolicy final : public AdmissionPolicy
+{
+  public:
+    AdmissionPolicyKind kind() const override
+    {
+        return AdmissionPolicyKind::ShortestPredictedFirst;
+    }
+
+    size_t selectNext(const std::deque<AdmissionTicket> &queue) override
+    {
+        NOL_ASSERT(!queue.empty(), "selectNext on an empty queue");
+        size_t best = 0;
+        for (size_t i = 1; i < queue.size(); ++i) {
+            if (queue[i].request.predictedHoldSeconds <
+                queue[best].request.predictedHoldSeconds)
+                best = i;
+        }
+        return best;
+    }
+};
+
+class FairSharePolicy final : public AdmissionPolicy
+{
+  public:
+    AdmissionPolicyKind kind() const override
+    {
+        return AdmissionPolicyKind::FairShare;
+    }
+
+    size_t selectNext(const std::deque<AdmissionTicket> &queue) override
+    {
+        NOL_ASSERT(!queue.empty(), "selectNext on an empty queue");
+        size_t best = 0;
+        uint64_t best_grants = grantsOf(queue[0].sessionId);
+        for (size_t i = 1; i < queue.size(); ++i) {
+            uint64_t grants = grantsOf(queue[i].sessionId);
+            if (grants < best_grants) {
+                best = i;
+                best_grants = grants;
+            }
+        }
+        return best;
+    }
+
+    void onGrant(uint64_t session_id) override { ++grants_[session_id]; }
+
+    void reset() override { grants_.clear(); }
+
+  private:
+    uint64_t grantsOf(uint64_t session_id) const
+    {
+        auto it = grants_.find(session_id);
+        return it == grants_.end() ? 0 : it->second;
+    }
+
+    std::unordered_map<uint64_t, uint64_t> grants_;
+};
+
+} // namespace
+
+std::unique_ptr<AdmissionPolicy>
+makeAdmissionPolicy(AdmissionPolicyKind kind)
+{
+    switch (kind) {
+    case AdmissionPolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>();
+    case AdmissionPolicyKind::Priority:
+        return std::make_unique<PriorityPolicy>();
+    case AdmissionPolicyKind::ShortestPredictedFirst:
+        return std::make_unique<ShortestPredictedFirstPolicy>();
+    case AdmissionPolicyKind::FairShare:
+        return std::make_unique<FairSharePolicy>();
+    }
+    NOL_ASSERT(false, "unknown admission policy kind");
+    return nullptr;
+}
+
+} // namespace nol::runtime

@@ -5,6 +5,7 @@
 #include "net/medium.hpp"
 #include "sim/eventloop.hpp"
 #include "support/logging.hpp"
+#include "support/stats.hpp"
 
 namespace nol::runtime {
 
@@ -64,14 +65,18 @@ PageCache::invalidate(const sim::PageDigest &digest)
 // ---------------------------------------------------------------------------
 
 ServerRuntime::ServerRuntime(const compiler::CompiledProgram &program,
-                             AdmissionPolicy policy,
+                             AdmissionConfig admission,
                              PageCachePolicy cache_policy)
-    : program_(program), policy_(policy), cache_policy_(cache_policy)
+    : program_(program), admission_(admission), cache_policy_(cache_policy),
+      policy_(makeAdmissionPolicy(admission.kind)),
+      slots_(admission.maxConcurrentSessions)
 {
-    NOL_ASSERT(policy_.maxConcurrentSessions > 0,
+    NOL_ASSERT(admission_.maxConcurrentSessions > 0,
                "server must admit at least one session");
     NOL_ASSERT(cache_policy_.capacityPages > 0,
                "page cache needs a nonzero capacity");
+    if (admission_.autoscale.enabled && admission_.autoscale.maxSessions == 0)
+        admission_.autoscale.maxSessions = admission_.maxConcurrentSessions * 4;
 }
 
 ServerRuntime::~ServerRuntime() = default;
@@ -87,18 +92,33 @@ ServerRuntime::namespaceFor(uint64_t session_id)
 
 AdmissionResult
 ServerRuntime::acquire(sim::Strand &strand, uint64_t session_id,
-                       double now_ns)
+                       double now_ns, AdmissionRequest request)
 {
     NOL_ASSERT(loop_ != nullptr, "admission outside a fleet run");
     AdmissionResult res;
     // Admission is shared state: decide inside an event so concurrent
     // requests serialize in virtual-time order (see eventloop.hpp).
-    loop_->schedule(now_ns, [this, &strand, &res, session_id, now_ns] {
-        if (active_ < policy_.maxConcurrentSessions) {
+    loop_->schedule(now_ns, [this, &strand, &res, session_id, now_ns,
+                             request] {
+        bool free_slot = active_ < slots_;
+        if (!free_slot && !admission_.legacyFifoPath &&
+            admission_.autoscale.enabled &&
+            slots_ < admission_.autoscale.maxSessions &&
+            static_cast<double>(queue_.size() + 1) >
+                admission_.autoscale.queueDepthPerSlot *
+                    static_cast<double>(slots_)) {
+            // Backlog crossed the growth threshold: provision one more
+            // slot and hand it straight to this request.
+            ++slots_;
+            free_slot = true;
+        }
+        if (free_slot) {
             ++active_;
             peak_active_ = std::max(peak_active_, active_);
             hold_start_ns_[session_id] = now_ns;
-            publishLoad();
+            if (!admission_.legacyFifoPath)
+                policy_->onGrant(session_id);
+            publishLoad(now_ns);
             res.granted = true;
             loop_->wake(strand, now_ns);
             return;
@@ -108,7 +128,8 @@ ServerRuntime::acquire(sim::Strand &strand, uint64_t session_id,
         waiter.result = &res;
         waiter.sessionId = session_id;
         waiter.enqueueNs = now_ns;
-        double deadline = now_ns + policy_.maxQueueWaitSeconds * 1e9;
+        waiter.request = request;
+        double deadline = now_ns + admission_.maxQueueWaitSeconds * 1e9;
         waiter.timeoutEvent =
             loop_->schedule(deadline, [this, &strand, &res, deadline] {
                 for (auto it = queue_.begin(); it != queue_.end(); ++it) {
@@ -119,12 +140,12 @@ ServerRuntime::acquire(sim::Strand &strand, uint64_t session_id,
                 }
                 res.granted = false;
                 ++admission_denials_;
-                publishLoad();
+                publishLoad(deadline);
                 loop_->wake(strand, deadline);
             });
         queue_.push_back(waiter);
         ++admission_waits_;
-        publishLoad();
+        publishLoad(now_ns);
     });
     double wake_ns = loop_->block(strand);
     res.wakeNs = wake_ns;
@@ -147,15 +168,76 @@ ServerRuntime::release(uint64_t session_id, double now_ns)
         if (queue_.empty()) {
             NOL_ASSERT(active_ > 0, "slot released but none held");
             --active_;
-            publishLoad();
+            maybeShrinkPool();
+            publishLoad(now_ns);
             return;
         }
-        // The freed slot passes directly to the FIFO head; active_ is
-        // unchanged (one out, one in).
-        grant(queue_.front(), now_ns);
-        queue_.pop_front();
-        publishLoad();
+        // The freed slot passes directly to a waiter — the policy's
+        // pick — and active_ is unchanged (one out, one in).
+        grantSelected(now_ns);
+        publishLoad(now_ns);
     });
+}
+
+void
+ServerRuntime::disconnect(uint64_t session_id, double now_ns)
+{
+    NOL_ASSERT(loop_ != nullptr, "disconnect outside a fleet run");
+    loop_->schedule(now_ns, [this, session_id, now_ns] {
+        // Queued? Evict the waiter and deliver a denial, exactly as a
+        // queue timeout would, so the session's overflow path runs.
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->sessionId != session_id)
+                continue;
+            Waiter waiter = *it;
+            queue_.erase(it);
+            loop_->cancel(waiter.timeoutEvent);
+            waiter.result->granted = false;
+            ++admission_denials_;
+            publishLoad(now_ns);
+            loop_->wake(*waiter.strand, now_ns);
+            return;
+        }
+        // Holding a slot? Free it; a queued waiter inherits it.
+        auto held = hold_start_ns_.find(session_id);
+        if (held == hold_start_ns_.end())
+            return; // neither queued nor holding: nothing to clean
+        hold_total_ns_ += now_ns - held->second;
+        ++hold_count_;
+        hold_start_ns_.erase(held);
+        if (queue_.empty()) {
+            NOL_ASSERT(active_ > 0, "slot released but none held");
+            --active_;
+            maybeShrinkPool();
+            publishLoad(now_ns);
+            return;
+        }
+        grantSelected(now_ns);
+        publishLoad(now_ns);
+    });
+}
+
+/** Grant the freed slot to the policy's pick (queue must be nonempty). */
+void
+ServerRuntime::grantSelected(double now_ns)
+{
+    size_t index = 0;
+    if (!admission_.legacyFifoPath) {
+        std::deque<AdmissionTicket> tickets;
+        for (const Waiter &waiter : queue_) {
+            AdmissionTicket ticket;
+            ticket.sessionId = waiter.sessionId;
+            ticket.enqueueNs = waiter.enqueueNs;
+            ticket.request = waiter.request;
+            tickets.push_back(ticket);
+        }
+        index = policy_->selectNext(tickets);
+    }
+    NOL_ASSERT(index < queue_.size(), "admission policy picked index %zu "
+               "of a %zu-deep queue", index, queue_.size());
+    Waiter waiter = queue_[index];
+    queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+    grant(waiter, now_ns);
 }
 
 void
@@ -163,14 +245,29 @@ ServerRuntime::grant(Waiter waiter, double now_ns)
 {
     loop_->cancel(waiter.timeoutEvent);
     hold_start_ns_[waiter.sessionId] = now_ns;
+    if (!admission_.legacyFifoPath)
+        policy_->onGrant(waiter.sessionId);
     waiter.result->granted = true;
     loop_->wake(*waiter.strand, now_ns);
 }
 
+/** Autoscale shrink: retire surplus slots once the backlog is gone. */
 void
-ServerRuntime::publishLoad()
+ServerRuntime::maybeShrinkPool()
 {
-    load_.slotPool = policy_.maxConcurrentSessions;
+    if (admission_.legacyFifoPath || !admission_.autoscale.enabled)
+        return;
+    if (!queue_.empty())
+        return;
+    uint32_t floor = std::max(admission_.maxConcurrentSessions, active_);
+    if (slots_ > floor)
+        slots_ = floor;
+}
+
+void
+ServerRuntime::publishLoad(double now_ns)
+{
+    load_.slotPool = slots_;
     load_.activeSessions = active_;
     load_.queueDepth = static_cast<uint32_t>(queue_.size());
     load_.completedHolds = hold_count_;
@@ -178,6 +275,8 @@ ServerRuntime::publishLoad()
         hold_count_ > 0
             ? (hold_total_ns_ * 1e-9) / static_cast<double>(hold_count_)
             : 0.0;
+    if (load_observer_)
+        load_observer_(now_ns, load_);
 }
 
 // ---------------------------------------------------------------------------
@@ -375,6 +474,26 @@ ServerRuntime::admitWriteBack(double now_ns,
     });
 }
 
+void
+ServerRuntime::attachLoopForTesting(sim::EventLoop *loop)
+{
+    loop_ = loop;
+    if (loop == nullptr)
+        return;
+    active_ = 0;
+    slots_ = admission_.maxConcurrentSessions;
+    queue_.clear();
+    policy_->reset();
+    admission_waits_ = 0;
+    admission_denials_ = 0;
+    admission_wait_ns_ = 0;
+    peak_active_ = 0;
+    hold_start_ns_.clear();
+    hold_total_ns_ = 0;
+    hold_count_ = 0;
+    publishLoad(0.0);
+}
+
 FleetReport
 ServerRuntime::run(const std::vector<FleetClient> &clients)
 {
@@ -383,7 +502,9 @@ ServerRuntime::run(const std::vector<FleetClient> &clients)
     net::SharedMedium medium(loop);
     loop_ = &loop;
     active_ = 0;
+    slots_ = admission_.maxConcurrentSessions;
     queue_.clear();
+    policy_->reset();
     namespaces_.clear();
     admission_waits_ = 0;
     admission_denials_ = 0;
@@ -395,7 +516,7 @@ ServerRuntime::run(const std::vector<FleetClient> &clients)
     hold_total_ns_ = 0;
     hold_count_ = 0;
     priors_ = decision::FleetPriors{};
-    publishLoad();
+    publishLoad(0.0);
 
     // Sharing pages across sessions only makes sense with peers; a
     // 1-client fleet keeps the legacy prefetch path bit-identical.
@@ -420,8 +541,10 @@ ServerRuntime::run(const std::vector<FleetClient> &clients)
         hooks.server = this;
         hooks.sessionId = static_cast<uint64_t>(i) + 1;
         hooks.startNs = clients[i].startSeconds * 1e9;
-        sessions.emplace_back(
-            new Session(program_, clients[i].config, hooks));
+        hooks.priority = clients[i].priority;
+        const compiler::CompiledProgram &prog =
+            clients[i].program != nullptr ? *clients[i].program : program_;
+        sessions.emplace_back(new Session(prog, clients[i].config, hooks));
     }
     for (size_t i = 0; i < clients.size(); ++i) {
         Session *session = sessions[i].get();
@@ -474,18 +597,11 @@ ServerRuntime::run(const std::vector<FleetClient> &clients)
             static_cast<double>(fleet.totalOffloads) / fleet.makespanSeconds;
     }
 
-    std::sort(latencies.begin(), latencies.end());
-    auto nearest_rank = [&latencies](double p) {
-        size_t rank = static_cast<size_t>(
-            p * static_cast<double>(latencies.size()) + 0.999999);
-        if (rank < 1)
-            rank = 1;
-        if (rank > latencies.size())
-            rank = latencies.size();
-        return latencies[rank - 1];
-    };
-    fleet.latencyP50Seconds = nearest_rank(0.50);
-    fleet.latencyP95Seconds = nearest_rank(0.95);
+    LatencySummary summary = summarizeLatencies(std::move(latencies));
+    fleet.latencyP50Seconds = summary.p50;
+    fleet.latencyP95Seconds = summary.p95;
+    fleet.latencyP99Seconds = summary.p99;
+    fleet.latencyP999Seconds = summary.p999;
     return fleet;
 }
 

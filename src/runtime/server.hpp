@@ -5,35 +5,34 @@
  * medium (net::SharedMedium), per-session UVA namespaces, and admission
  * control bounding how many offloading processes run concurrently.
  *
- * Admission policy: FIFO. An offload that arrives while all slots are
- * busy queues; a released slot passes directly to the head waiter. A
- * waiter that queues longer than the policy's timeout is denied and the
- * session runs that target locally instead (overflow) — the fleet
- * degrades to local execution under load rather than deadlocking.
+ * Admission: an offload that arrives while all slots are busy queues;
+ * a released slot passes to the waiter the configured AdmissionPolicy
+ * picks (FIFO by default — see runtime/admission.hpp for the policy
+ * catalog and the optional autoscaling slot pool). A waiter that
+ * queues longer than the configured timeout is denied and the session
+ * runs that target locally instead (overflow) — the fleet degrades to
+ * local execution under load rather than deadlocking.
  */
 #ifndef NOL_RUNTIME_SERVER_HPP
 #define NOL_RUNTIME_SERVER_HPP
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "decision/model.hpp"
 #include "decision/priors.hpp"
+#include "runtime/admission.hpp"
 #include "runtime/session.hpp"
 #include "runtime/uva.hpp"
 #include "sim/pagedmemory.hpp"
 
 namespace nol::runtime {
-
-/** How many offloading processes the server accepts at once. */
-struct AdmissionPolicy {
-    uint32_t maxConcurrentSessions = 8;
-    double maxQueueWaitSeconds = 5.0; ///< then denied → run locally
-};
 
 /** Server-side content-addressed page cache + prefetch batching knobs. */
 struct PageCachePolicy {
@@ -106,7 +105,8 @@ class PageCache
 
     uint64_t capacity_;
     uint64_t tick_ = 0;
-    std::map<sim::PageDigest, Entry> entries_;
+    std::unordered_map<sim::PageDigest, Entry, sim::PageDigestHash>
+        entries_;
     std::map<uint64_t, sim::PageDigest> lru_; ///< tick → digest
     uint64_t inserted_ = 0;
     uint64_t evicted_ = 0;
@@ -140,6 +140,13 @@ struct FleetClient {
     SystemConfig config;
     RunInput input;
     double startSeconds = 0; ///< arrival time on the fleet timeline
+    int priority = 0; ///< admission priority (Priority policy only)
+    /**
+     * Program this client runs; nullptr = the server's program. Lets
+     * one fleet carry a heavy-tailed mix of workloads (src/traffic) —
+     * page sharing still works because the cache is content-addressed.
+     */
+    const compiler::CompiledProgram *program = nullptr;
 };
 
 /** One client's outcome. */
@@ -167,6 +174,8 @@ struct FleetReport {
     double offloadsPerSecond = 0;  ///< totalOffloads / makespan
     double latencyP50Seconds = 0;
     double latencyP95Seconds = 0;
+    double latencyP99Seconds = 0;
+    double latencyP999Seconds = 0;
     uint32_t peakConcurrentSessions = 0; ///< admitted at once
     uint32_t peakConcurrentFlows = 0;    ///< medium contention peak
     PageCacheStats cache;                ///< all-zero when cache is off
@@ -183,24 +192,48 @@ class ServerRuntime
 {
   public:
     explicit ServerRuntime(const compiler::CompiledProgram &program,
-                           AdmissionPolicy policy = {},
+                           AdmissionConfig admission = {},
                            PageCachePolicy cache_policy = {});
     ~ServerRuntime();
 
     /** Simulate @p clients against one server; blocks until done. */
     FleetReport run(const std::vector<FleetClient> &clients);
 
+    /**
+     * Observe every loadSnapshot() republication, stamped with the
+     * virtual time of the triggering event. The traffic harness uses
+     * this to record the queue-depth time series; pass nullptr to
+     * detach. Purely observational — installs no behavior change.
+     */
+    using LoadObserver =
+        std::function<void(double now_ns, const decision::LoadSnapshot &)>;
+    void setLoadObserver(LoadObserver observer)
+    {
+        load_observer_ = std::move(observer);
+    }
+
     // --- Session-facing interface (called from session strands) --------
 
     /**
      * Request a server slot at virtual time @p now_ns. Cooperatively
      * blocks the strand until granted or denied (queue timeout).
+     * @p request carries what the admission policy may weigh: the
+     * client's priority and the Eq. 1 predicted hold time.
      */
     AdmissionResult acquire(sim::Strand &strand, uint64_t session_id,
-                            double now_ns);
+                            double now_ns, AdmissionRequest request = {});
 
-    /** Return a slot; the head waiter (if any) inherits it directly. */
+    /** Return a slot; a queued waiter (policy's pick) inherits it. */
     void release(uint64_t session_id, double now_ns);
+
+    /**
+     * A session's client vanished (network churn): drop its queued
+     * admission request, if any, waking the strand with a denial; a
+     * slot it already holds is released. Safe to call for sessions
+     * that are neither queued nor holding — it is then a no-op. Keeps
+     * loadSnapshot() consistent (no leaked slots or ghost waiters).
+     */
+    void disconnect(uint64_t session_id, double now_ns);
 
     /**
      * The server's live load, republished on every grant, queue change
@@ -223,8 +256,16 @@ class ServerRuntime
     /** The per-session UVA namespace (created on first use). */
     UvaManager &namespaceFor(uint64_t session_id);
 
-    const AdmissionPolicy &policy() const { return policy_; }
+    const AdmissionConfig &admissionConfig() const { return admission_; }
     const PageCachePolicy &cachePolicy() const { return cache_policy_; }
+
+    /**
+     * Test-only: bind the admission machinery to an external event
+     * loop and reset its run-scoped state, so unit tests can exercise
+     * acquire()/release()/disconnect() from raw strands without a full
+     * fleet run. Detach by passing nullptr before the loop dies.
+     */
+    void attachLoopForTesting(sim::EventLoop *loop);
 
     // --- Page cache + prefetch batching (called from session strands) --
     //
@@ -299,6 +340,7 @@ class ServerRuntime
         uint64_t sessionId = 0;
         double enqueueNs = 0;
         uint64_t timeoutEvent = 0;
+        AdmissionRequest request;
     };
 
     /** One admission wave of the prefetch batcher. */
@@ -325,20 +367,24 @@ class ServerRuntime
     };
 
     void grant(Waiter waiter, double now_ns);
-    void publishLoad();
+    void grantSelected(double now_ns);
+    void publishLoad(double now_ns);
+    void maybeShrinkPool();
     void flushWave(uint64_t wave_id, double now_ns);
     void waveArrived(uint64_t wave_id, double now_ns);
 
     const compiler::CompiledProgram &program_;
-    AdmissionPolicy policy_;
+    AdmissionConfig admission_;
     PageCachePolicy cache_policy_;
+    std::unique_ptr<AdmissionPolicy> policy_; ///< slot-inheritance strategy
 
     // Valid only during run() (the fleet's shared infrastructure).
     sim::EventLoop *loop_ = nullptr;
 
     uint32_t active_ = 0;
+    uint32_t slots_ = 0; ///< live pool size (== config unless autoscaled)
     std::deque<Waiter> queue_;
-    std::map<uint64_t, std::unique_ptr<UvaManager>> namespaces_;
+    std::unordered_map<uint64_t, std::unique_ptr<UvaManager>> namespaces_;
 
     uint64_t admission_waits_ = 0;
     uint64_t admission_denials_ = 0;
@@ -348,7 +394,9 @@ class ServerRuntime
     // Live load bookkeeping behind loadSnapshot(). Hold times are
     // measured grant→release per session; the mean feeds E[wait].
     decision::LoadSnapshot load_;
-    std::map<uint64_t, double> hold_start_ns_; ///< session → grant time
+    LoadObserver load_observer_;
+    std::unordered_map<uint64_t, double>
+        hold_start_ns_; ///< session → grant time
     double hold_total_ns_ = 0;
     uint64_t hold_count_ = 0;
 
@@ -362,7 +410,8 @@ class ServerRuntime
     uint64_t open_wave_ = 0; ///< unflushed wave id, 0 = none
     uint64_t next_wave_ = 1;
     /** Digests assigned to an in-flight carrier: digest → wave. */
-    std::map<sim::PageDigest, uint64_t> pending_;
+    std::unordered_map<sim::PageDigest, uint64_t, sim::PageDigestHash>
+        pending_;
     std::vector<WaveWaiter> wave_waiters_;
     PageCacheStats cache_stats_;
 };

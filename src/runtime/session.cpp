@@ -110,13 +110,16 @@ struct Session::Impl {
      * target locally (overflow).
      */
     bool
-    acquireServerSlot()
+    acquireServerSlot(double predicted_hold_seconds = 0)
     {
         if (fleet.server == nullptr)
             return true;
         comm.syncClocks();
+        AdmissionRequest request;
+        request.priority = fleet.priority;
+        request.predictedHoldSeconds = predicted_hold_seconds;
         AdmissionResult res = fleet.server->acquire(
-            *fleet.strand, fleet.sessionId, mobile.nowNs());
+            *fleet.strand, fleet.sessionId, mobile.nowNs(), request);
         if (res.waitedNs > 0) {
             // The device idled in the queue; the (not-yet-started)
             // server process costs nothing.
@@ -444,8 +447,16 @@ class MobileEnv : public interp::DefaultEnv
         }
         // Fleet mode: the server must admit this offloading process.
         // A denied (queue-timeout) request overflows to local
-        // execution — degraded, never deadlocked.
-        if (!ctx_.acquireServerSlot()) {
+        // execution — degraded, never deadlocked. The Eq. 1 terms of
+        // the decision double as the predicted slot-hold time the SPJF
+        // admission policy orders by: Ts + Tc = (Tm - Tideal) + Tc.
+        double predicted_hold = 0;
+        if (decision.terms.mobileSeconds > 0) {
+            predicted_hold = decision.terms.mobileSeconds -
+                             decision.terms.idealGain +
+                             decision.terms.commSeconds;
+        }
+        if (!ctx_.acquireServerSlot(predicted_hold)) {
             // The link was never exercised: return a granted recovery
             // probe un-spent so the next decide() may probe again.
             ctx_.dyn.cancelProbe(target.name);

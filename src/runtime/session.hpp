@@ -43,6 +43,7 @@ struct FleetHooks {
     sim::Strand *strand = nullptr; ///< set via setStrand() after spawn
     uint64_t sessionId = 0;
     double startNs = 0; ///< client arrival time on the fleet timeline
+    int priority = 0;   ///< admission priority (FleetClient::priority)
 };
 
 /** One client's run, solo or fleet. */

@@ -23,19 +23,16 @@ uint64_t
 EventLoop::schedule(double at_ns, std::function<void()> fn)
 {
     uint64_t id = next_event_id_++;
-    order_[{at_ns, id}] = id;
-    events_[id] = Event{at_ns, id, std::move(fn)};
+    event_heap_.push({at_ns, id});
+    event_fns_.emplace(id, std::move(fn));
     return id;
 }
 
 void
 EventLoop::cancel(uint64_t event_id)
 {
-    auto it = events_.find(event_id);
-    if (it == events_.end())
-        return;
-    order_.erase({it->second.atNs, event_id});
-    events_.erase(it);
+    // The heap key stays behind as a tombstone; peekEvent() skips it.
+    event_fns_.erase(event_id);
 }
 
 Strand *
@@ -44,46 +41,57 @@ EventLoop::spawn(std::string name, double start_ns,
 {
     strands_.emplace_back(new Strand(std::move(name), strands_.size(),
                                      start_ns, std::move(body)));
+    ready_heap_.push({start_ns, strands_.back()->id_});
     return strands_.back().get();
 }
 
-Strand *
-EventLoop::nextReadyStrand()
+const EventLoop::HeapKey *
+EventLoop::peekEvent()
 {
-    Strand *best = nullptr;
-    for (auto &strand : strands_) {
-        if (strand->state_ != Strand::State::Ready)
-            continue;
-        if (best == nullptr || strand->ready_at_ns_ < best->ready_at_ns_ ||
-            (strand->ready_at_ns_ == best->ready_at_ns_ &&
-             strand->id_ < best->id_)) {
-            best = strand.get();
-        }
+    while (!event_heap_.empty()) {
+        const HeapKey &top = event_heap_.top();
+        if (event_fns_.count(top.second) != 0)
+            return &top;
+        event_heap_.pop(); // cancelled: tombstone
     }
-    return best;
+    return nullptr;
+}
+
+const EventLoop::HeapKey *
+EventLoop::peekReadyStrand()
+{
+    while (!ready_heap_.empty()) {
+        const HeapKey &top = ready_heap_.top();
+        Strand &strand = *strands_[top.second];
+        if (strand.state_ == Strand::State::Ready &&
+            strand.ready_at_ns_ == top.first)
+            return &top;
+        ready_heap_.pop(); // stale: strand moved on since this key
+    }
+    return nullptr;
 }
 
 void
 EventLoop::run()
 {
     for (;;) {
-        Strand *strand = nextReadyStrand();
-        auto ev = order_.begin();
-        bool have_event = ev != order_.end();
+        const HeapKey *ready = peekReadyStrand();
+        const HeapKey *ev = peekEvent();
 
-        if (strand != nullptr &&
-            (!have_event || strand->ready_at_ns_ <= ev->first.first)) {
-            observeTime(strand->ready_at_ns_);
-            resume(*strand);
+        if (ready != nullptr &&
+            (ev == nullptr || ready->first <= ev->first)) {
+            Strand &strand = *strands_[ready->second];
+            ready_heap_.pop();
+            observeTime(strand.ready_at_ns_);
+            resume(strand);
             continue;
         }
-        if (have_event) {
-            uint64_t id = ev->second;
-            auto stored = events_.find(id);
-            std::function<void()> fn = std::move(stored->second.fn);
-            observeTime(ev->first.first);
-            order_.erase(ev);
-            events_.erase(stored);
+        if (ev != nullptr) {
+            auto stored = event_fns_.find(ev->second);
+            std::function<void()> fn = std::move(stored->second);
+            observeTime(ev->first);
+            event_heap_.pop();
+            event_fns_.erase(stored);
             fn();
             continue;
         }
@@ -152,13 +160,19 @@ EventLoop::block(Strand &strand)
 void
 EventLoop::wake(Strand &strand, double at_ns)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    NOL_ASSERT(strand.state_ == Strand::State::Blocked,
-               "wake of strand \"%s\" which is not blocked",
-               strand.name_.c_str());
-    strand.state_ = Strand::State::Ready;
-    strand.ready_at_ns_ = at_ns;
-    strand.wake_at_ns_ = at_ns;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        NOL_ASSERT(strand.state_ == Strand::State::Blocked,
+                   "wake of strand \"%s\" which is not blocked",
+                   strand.name_.c_str());
+        strand.state_ = Strand::State::Ready;
+        strand.ready_at_ns_ = at_ns;
+        strand.wake_at_ns_ = at_ns;
+    }
+    // wake() is only called from controller-side event code, so the
+    // ready heap needs no lock (the mutex above guards the strand's
+    // baton handshake, not scheduler structures).
+    ready_heap_.push({at_ns, strand.id_});
 }
 
 } // namespace nol::sim

@@ -41,11 +41,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace nol::sim {
@@ -163,22 +165,36 @@ class EventLoop
     void wake(Strand &strand, double at_ns);
 
   private:
-    struct Event {
-        double atNs = 0;
-        uint64_t seq = 0;
-        std::function<void()> fn;
-    };
+    /**
+     * Heap key: (time, id). Event ids are handed out monotonically, so
+     * popping the smallest key dispatches equal-time events in posting
+     * order — the exact order the old (time, seq) map produced.
+     */
+    using HeapKey = std::pair<double, uint64_t>;
+    using MinHeap =
+        std::priority_queue<HeapKey, std::vector<HeapKey>,
+                            std::greater<HeapKey>>;
 
     void resume(Strand &strand);
     void strandMain(Strand &strand);
-    Strand *nextReadyStrand();
+    const HeapKey *peekEvent();
+    const HeapKey *peekReadyStrand();
 
     double horizon_ns_ = 0;
     uint64_t next_event_id_ = 1;
-    // Dispatch order (time, seq) → event id; fn storage by id so
-    // cancel() is O(log n) and stale completion events are cheap.
-    std::map<std::pair<double, uint64_t>, uint64_t> order_;
-    std::map<uint64_t, Event> events_;
+    // Dispatch order is a lazy-deletion binary heap over (time, id);
+    // callbacks live in a flat id → fn table so cancel() is O(1) (it
+    // just drops the fn — the orphaned heap key is skipped at pop).
+    // This replaced a pair of std::maps whose per-event node churn was
+    // the #1 hot spot once open-loop traffic pushed a single run to
+    // thousands of sessions (see DESIGN.md §12).
+    MinHeap event_heap_;
+    std::unordered_map<uint64_t, std::function<void()>> event_fns_;
+    // Ready strands mirror the same shape: (ready time, strand id)
+    // keys replace an O(strands) scan per dispatch. A strand has at
+    // most one live key (pushed by spawn/wake, consumed at resume);
+    // stale keys are recognized by state/time mismatch and skipped.
+    MinHeap ready_heap_;
     std::vector<std::unique_ptr<Strand>> strands_;
 
     std::mutex mu_;

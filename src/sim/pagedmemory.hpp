@@ -59,6 +59,18 @@ struct PageDigest {
     }
 };
 
+/**
+ * Hash for unordered digest maps (server page cache, pending-carrier
+ * ledger). The digest *is* 128 bits of mixed content entropy, so
+ * folding the halves is as good as rehashing them.
+ */
+struct PageDigestHash {
+    size_t operator()(const PageDigest &d) const
+    {
+        return static_cast<size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
 /** Digest @p size bytes starting at @p data (two independent streams). */
 PageDigest digestBytes(const uint8_t *data, uint64_t size);
 

@@ -14,6 +14,29 @@
 
 namespace nol {
 
+/**
+ * Nearest-rank percentile of @p sorted (ascending order required);
+ * @p p in [0, 1]. Returns 0 for an empty sample. This is the one
+ * percentile definition in the tree — ServerRuntime's fleet latency
+ * fields, the traffic harness and every bench table quote it, so p50
+ * in a test and p50 in a JSON artifact always mean the same rank.
+ */
+double percentileNearestRank(const std::vector<double> &sorted, double p);
+
+/** The latency quantiles every report and bench table quotes. */
+struct LatencySummary {
+    uint64_t count = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double p999 = 0;
+    double max = 0;
+};
+
+/** Sort a copy of @p values and read off the standard quantiles. */
+LatencySummary summarizeLatencies(std::vector<double> values);
+
 /** A single scalar statistic: a name plus a double value. */
 struct StatEntry {
     std::string name;

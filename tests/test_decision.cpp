@@ -578,7 +578,7 @@ TEST(DecisionFleet, AdmissionAwareCutsDenialsOnSaturatedPool)
     auto run_fleet = [&](bool aware) {
         SystemConfig fleet_cfg = cfg;
         fleet_cfg.admissionAwareDecision = aware;
-        AdmissionPolicy policy;
+        AdmissionConfig policy;
         policy.maxConcurrentSessions = 1;
         ServerRuntime server(prog, policy);
         return server.run(staggeredClients(6, fleet_cfg, input, 2.0));

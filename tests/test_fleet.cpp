@@ -509,7 +509,7 @@ TEST(FleetAdmission, SingleSlotQueuesFifoWithoutDeadlock)
     OffloadSystem solo(prog, cfg);
     RunReport solo_report = solo.run(caseInput(c));
 
-    AdmissionPolicy policy;
+    AdmissionConfig policy;
     policy.maxConcurrentSessions = 1;
     // Virtual minutes per offload on these slow simulated cores, so the
     // timeout must be effectively infinite for "nobody is denied".
@@ -551,7 +551,7 @@ runFleetCache(const compiler::CompiledProgram &prog, SystemConfig cfg,
               size_t n, bool cache_on, const RunInput &input)
 {
     cfg.pageCacheEnabled = cache_on;
-    ServerRuntime server(prog, AdmissionPolicy{}, PageCachePolicy{});
+    ServerRuntime server(prog, AdmissionConfig{}, PageCachePolicy{});
     return server.run(makeClients(n, cfg, input));
 }
 
@@ -637,7 +637,7 @@ TEST(FleetPageCache, SingleClientCacheOnIsBitIdenticalToSolo)
         RunReport solo_report = solo.run(caseInput(c));
 
         cfg.pageCacheEnabled = true;
-        ServerRuntime server(prog, AdmissionPolicy{}, PageCachePolicy{});
+        ServerRuntime server(prog, AdmissionConfig{}, PageCachePolicy{});
         FleetClient client;
         client.name = "c0";
         client.config = cfg;
@@ -701,7 +701,7 @@ TEST(FleetAdmission, QueueTimeoutOverflowsToLocalExecution)
     OffloadSystem solo(prog, cfg);
     RunReport solo_report = solo.run(caseInput(c));
 
-    AdmissionPolicy policy;
+    AdmissionConfig policy;
     policy.maxConcurrentSessions = 1;
     policy.maxQueueWaitSeconds = 1e-6; // effectively: never wait
     ServerRuntime server(prog, policy);
@@ -721,4 +721,133 @@ TEST(FleetAdmission, QueueTimeoutOverflowsToLocalExecution)
         EXPECT_EQ(result.report.exitValue, solo_report.exitValue);
     }
     EXPECT_GE(overflow_events, fleet.admissionDenials);
+}
+
+namespace {
+
+/** Bit-identical RunReport comparison (no solo-vs-fleet assumptions). */
+void
+expectRunReportsBitIdentical(const RunReport &a, const RunReport &b)
+{
+    EXPECT_EQ(a.exitValue, b.exitValue);
+    EXPECT_EQ(a.console, b.console);
+    EXPECT_DOUBLE_EQ(a.mobileSeconds, b.mobileSeconds);
+    EXPECT_DOUBLE_EQ(a.energyMillijoules, b.energyMillijoules);
+    EXPECT_EQ(a.wireBytes, b.wireBytes);
+    EXPECT_EQ(a.rawBytes, b.rawBytes);
+    EXPECT_EQ(a.bytesByCategory, b.bytesByCategory);
+    EXPECT_EQ(a.offloads, b.offloads);
+    EXPECT_EQ(a.localRuns, b.localRuns);
+    EXPECT_EQ(a.demandFaults, b.demandFaults);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.admissionWaits, b.admissionWaits);
+    EXPECT_EQ(a.admissionDenials, b.admissionDenials);
+    EXPECT_DOUBLE_EQ(a.admissionWaitSeconds, b.admissionWaitSeconds);
+    EXPECT_EQ(a.digestHandshakes, b.digestHandshakes);
+    EXPECT_EQ(a.prefetchPagesSent, b.prefetchPagesSent);
+    EXPECT_EQ(a.prefetchPagesCached, b.prefetchPagesCached);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].target, b.events[i].target);
+        EXPECT_EQ(a.events[i].offloaded, b.events[i].offloaded);
+        EXPECT_EQ(a.events[i].failedOver, b.events[i].failedOver);
+        EXPECT_EQ(a.events[i].suppressed, b.events[i].suppressed);
+        EXPECT_EQ(a.events[i].overflow, b.events[i].overflow);
+        EXPECT_DOUBLE_EQ(a.events[i].trafficBytes,
+                         b.events[i].trafficBytes);
+        EXPECT_DOUBLE_EQ(a.events[i].serverSeconds,
+                         b.events[i].serverSeconds);
+    }
+}
+
+/** Every aggregate and every per-client report must match exactly. */
+void
+expectFleetReportsBitIdentical(const FleetReport &a, const FleetReport &b)
+{
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.totalOffloads, b.totalOffloads);
+    EXPECT_EQ(a.totalLocalRuns, b.totalLocalRuns);
+    EXPECT_EQ(a.totalFailovers, b.totalFailovers);
+    EXPECT_EQ(a.admissionWaits, b.admissionWaits);
+    EXPECT_EQ(a.admissionDenials, b.admissionDenials);
+    EXPECT_DOUBLE_EQ(a.admissionWaitSeconds, b.admissionWaitSeconds);
+    EXPECT_DOUBLE_EQ(a.serverBusySeconds, b.serverBusySeconds);
+    EXPECT_DOUBLE_EQ(a.mediumBusySeconds, b.mediumBusySeconds);
+    EXPECT_EQ(a.mediumBytes, b.mediumBytes);
+    EXPECT_DOUBLE_EQ(a.offloadsPerSecond, b.offloadsPerSecond);
+    EXPECT_DOUBLE_EQ(a.latencyP50Seconds, b.latencyP50Seconds);
+    EXPECT_DOUBLE_EQ(a.latencyP95Seconds, b.latencyP95Seconds);
+    EXPECT_DOUBLE_EQ(a.latencyP99Seconds, b.latencyP99Seconds);
+    EXPECT_DOUBLE_EQ(a.latencyP999Seconds, b.latencyP999Seconds);
+    EXPECT_EQ(a.peakConcurrentSessions, b.peakConcurrentSessions);
+    EXPECT_EQ(a.peakConcurrentFlows, b.peakConcurrentFlows);
+    ASSERT_EQ(a.clients.size(), b.clients.size());
+    for (size_t i = 0; i < a.clients.size(); ++i) {
+        SCOPED_TRACE(a.clients[i].name);
+        EXPECT_EQ(a.clients[i].name, b.clients[i].name);
+        EXPECT_DOUBLE_EQ(a.clients[i].startSeconds,
+                         b.clients[i].startSeconds);
+        EXPECT_DOUBLE_EQ(a.clients[i].finishSeconds,
+                         b.clients[i].finishSeconds);
+        EXPECT_DOUBLE_EQ(a.clients[i].latencySeconds,
+                         b.clients[i].latencySeconds);
+        expectRunReportsBitIdentical(a.clients[i].report,
+                                     b.clients[i].report);
+    }
+}
+
+} // namespace
+
+/**
+ * The admission refactor's differential oracle: the pre-refactor
+ * inline FIFO path is frozen behind AdmissionConfig::legacyFifoPath,
+ * and the policy-interface FIFO must reproduce it bit-for-bit across
+ * workloads, networks and fault injection — a contended slot pool so
+ * the queue (and its selection logic) is genuinely exercised.
+ */
+TEST(FleetEquivalence, InterfaceFifoMatchesLegacyPathAcrossSweep)
+{
+    for (const EquivCase &c : equivCases()) {
+        compiler::CompiledProgram prog = compileCase(c);
+        for (bool slow : {false, true}) {
+            for (bool faults : {false, true}) {
+                SCOPED_TRACE(std::string(c.name) +
+                             (slow ? " @802.11n" : " @802.11ac") +
+                             (faults ? " +faults" : ""));
+                SystemConfig cfg;
+                cfg.network = slow ? net::makeWifi80211n()
+                                   : net::makeWifi80211ac();
+                if (faults) {
+                    cfg.faultPlan.enabled = true;
+                    cfg.faultPlan.seed = 77;
+                    cfg.faultPlan.dropRate = 0.10;
+                    cfg.faultPlan.latencySpikeRate = 0.05;
+                }
+
+                AdmissionConfig legacy;
+                legacy.maxConcurrentSessions = 2; // force queueing at N=6
+                legacy.legacyFifoPath = true;
+                AdmissionConfig via_interface = legacy;
+                via_interface.legacyFifoPath = false;
+
+                // The profiling input is a lighter run than the eval
+                // input but drives the exact same offload decisions —
+                // the sweep is about queue bookkeeping, not scale.
+                RunInput input;
+                input.stdinText = c.profileStdin;
+                input.files = c.files;
+
+                ServerRuntime legacy_server(prog, legacy);
+                FleetReport legacy_fleet =
+                    legacy_server.run(makeClients(6, cfg, input));
+                ServerRuntime policy_server(prog, via_interface);
+                FleetReport policy_fleet =
+                    policy_server.run(makeClients(6, cfg, input));
+
+                EXPECT_GT(legacy_fleet.admissionWaits, 0u);
+                expectFleetReportsBitIdentical(legacy_fleet, policy_fleet);
+            }
+        }
+    }
 }

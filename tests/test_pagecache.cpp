@@ -323,7 +323,7 @@ TEST(PageCacheFleet, HaveNeedHandshakeSharesIdenticalPages)
     FleetReport off = server_off.run(sameBinaryClients(2, false));
 
     PageCachePolicy cache_policy;
-    ServerRuntime server_on(prog, AdmissionPolicy{}, cache_policy);
+    ServerRuntime server_on(prog, AdmissionConfig{}, cache_policy);
     FleetReport on = server_on.run(sameBinaryClients(2, true));
 
     // Identical results per client, cache on or off.
@@ -367,7 +367,7 @@ TEST(PageCacheFleet, SoloClientNeverActivatesTheCache)
 {
     compiler::CompiledProgram prog = compileCompute();
     PageCachePolicy cache_policy;
-    ServerRuntime server(prog, AdmissionPolicy{}, cache_policy);
+    ServerRuntime server(prog, AdmissionConfig{}, cache_policy);
     // The client opts in, but a 1-client fleet has nobody to share
     // with: the legacy path must run (bit-identity with PR 2).
     FleetReport fleet = server.run(sameBinaryClients(1, true));
@@ -383,7 +383,7 @@ TEST(PageCacheFleet, DisabledPolicyKeepsCacheInert)
     compiler::CompiledProgram prog = compileCompute();
     PageCachePolicy cache_policy;
     cache_policy.enabled = false;
-    ServerRuntime server(prog, AdmissionPolicy{}, cache_policy);
+    ServerRuntime server(prog, AdmissionConfig{}, cache_policy);
     FleetReport fleet = server.run(sameBinaryClients(2, true));
     EXPECT_FALSE(server.cacheActive());
     EXPECT_EQ(fleet.cache.lookups, 0u);

@@ -477,3 +477,127 @@ TEST(DynEstimator, ConsecutiveFailuresDoubleTheWindow)
     EXPECT_TRUE(dyn.decide("f", now + 0.4).suppressed);
     EXPECT_FALSE(dyn.decide("f", now + 0.6).suppressed);
 }
+
+// ---------------------------------------------------------------------------
+// Admission churn (ServerRuntime::disconnect)
+// ---------------------------------------------------------------------------
+
+#include "compiler/driver.hpp"
+#include "runtime/server.hpp"
+#include "sim/eventloop.hpp"
+
+namespace {
+
+const char *kTinySrc = R"(
+int main() { return 7; }
+)";
+
+compiler::CompiledProgram &
+tinyProgram()
+{
+    static compiler::CompiledProgram prog = compiler::compileForOffload(
+        frontend::compileSource(kTinySrc, "tiny.c"), {});
+    return prog;
+}
+
+} // namespace
+
+TEST(AdmissionChurn, MidQueueDisconnectRemovesWaiterWithoutSlotLeak)
+{
+    AdmissionConfig config;
+    config.maxConcurrentSessions = 1;
+    config.maxQueueWaitSeconds = 5.0;
+    ServerRuntime server(tinyProgram(), config);
+
+    std::vector<decision::LoadSnapshot> snapshots;
+    server.setLoadObserver(
+        [&snapshots](double, const decision::LoadSnapshot &load) {
+            snapshots.push_back(load);
+        });
+
+    sim::EventLoop loop;
+    server.attachLoopForTesting(&loop);
+
+    AdmissionResult r1, r2, r3;
+    sim::Strand *s1 = nullptr, *s2 = nullptr, *s3 = nullptr;
+    s1 = loop.spawn("s1", 0.0, [&] { r1 = server.acquire(*s1, 1, 0.0); });
+    s2 = loop.spawn("s2", 1000.0,
+                    [&] { r2 = server.acquire(*s2, 2, 1000.0); });
+    s3 = loop.spawn("s3", 2000.0,
+                    [&] { r3 = server.acquire(*s3, 3, 2000.0); });
+    // Session 2 churns out of the middle of the queue; session 1
+    // releases later; session 3 must still inherit the slot.
+    server.disconnect(2, 3000.0);
+    server.release(1, 5000.0);
+    server.release(3, 6000.0);
+    loop.run();
+    server.attachLoopForTesting(nullptr);
+    server.setLoadObserver(nullptr);
+
+    EXPECT_TRUE(r1.granted);
+    EXPECT_DOUBLE_EQ(r1.waitedNs, 0.0);
+    EXPECT_FALSE(r2.granted); // the disconnect delivered a denial
+    EXPECT_DOUBLE_EQ(r2.wakeNs, 3000.0);
+    EXPECT_TRUE(r3.granted); // later waiters are unaffected
+    EXPECT_DOUBLE_EQ(r3.wakeNs, 5000.0);
+    EXPECT_DOUBLE_EQ(r3.waitedNs, 3000.0);
+
+    // The disconnect removed exactly one waiter (queue 2 -> 1) while
+    // the slot holder stayed put — no slot leaked, no ghost waiter.
+    bool saw_eviction = false;
+    uint32_t peak_queue = 0;
+    for (size_t i = 1; i < snapshots.size(); ++i) {
+        peak_queue = std::max(peak_queue, snapshots[i].queueDepth);
+        if (snapshots[i - 1].queueDepth == 2 &&
+            snapshots[i].queueDepth == 1 &&
+            snapshots[i].activeSessions == 1)
+            saw_eviction = true;
+    }
+    EXPECT_TRUE(saw_eviction);
+    EXPECT_EQ(peak_queue, 2u);
+
+    const decision::LoadSnapshot &final_load = server.loadSnapshot();
+    EXPECT_EQ(final_load.activeSessions, 0u);
+    EXPECT_EQ(final_load.queueDepth, 0u);
+    EXPECT_EQ(final_load.slotPool, 1u);
+    EXPECT_EQ(final_load.completedHolds, 2u); // sessions 1 and 3
+}
+
+TEST(AdmissionChurn, HoldingSessionDisconnectFreesSlotForWaiter)
+{
+    AdmissionConfig config;
+    config.maxConcurrentSessions = 1;
+    config.maxQueueWaitSeconds = 5.0;
+    ServerRuntime server(tinyProgram(), config);
+
+    sim::EventLoop loop;
+    server.attachLoopForTesting(&loop);
+
+    AdmissionResult r1, r2;
+    sim::Strand *s1 = nullptr, *s2 = nullptr;
+    s1 = loop.spawn("s1", 0.0, [&] { r1 = server.acquire(*s1, 1, 0.0); });
+    s2 = loop.spawn("s2", 1000.0,
+                    [&] { r2 = server.acquire(*s2, 2, 1000.0); });
+    // The slot holder churns; its slot must pass to the queued waiter.
+    server.disconnect(1, 2000.0);
+    server.release(2, 3000.0);
+    // Disconnect of a session that is neither queued nor holding is a
+    // harmless no-op (a client can vanish after finishing cleanly).
+    server.disconnect(99, 3500.0);
+    loop.run();
+    server.attachLoopForTesting(nullptr);
+
+    EXPECT_TRUE(r1.granted);
+    EXPECT_TRUE(r2.granted);
+    EXPECT_DOUBLE_EQ(r2.wakeNs, 2000.0);
+    EXPECT_DOUBLE_EQ(r2.waitedNs, 1000.0);
+
+    const decision::LoadSnapshot &final_load = server.loadSnapshot();
+    EXPECT_EQ(final_load.activeSessions, 0u);
+    EXPECT_EQ(final_load.queueDepth, 0u);
+    EXPECT_EQ(final_load.slotPool, 1u);
+    // The churned holder's hold still counts toward the ledger the
+    // admission-aware Eq. 1 term reads (its time on the slot was real).
+    EXPECT_EQ(final_load.completedHolds, 2u);
+    EXPECT_GT(final_load.meanHoldSeconds, 0.0);
+}

@@ -116,6 +116,56 @@ TEST(Stats, EntriesSorted)
     EXPECT_EQ(entries[1].name, "b");
 }
 
+TEST(Percentile, NearestRankMatchesHandComputedRanks)
+{
+    // 10 sorted values. The epsilon nudge keeps p*n landing exactly on
+    // an integer at that rank (0.5*10 → rank 5, 0.9*10 → rank 9) while
+    // fractional products round up (0.99*10 → rank 10).
+    std::vector<double> sorted{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(percentileNearestRank(sorted, 0.50), 5);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(sorted, 0.90), 9);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(sorted, 0.99), 10);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(sorted, 0.999), 10);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(sorted, 0.0), 1);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(sorted, 1.0), 10);
+}
+
+TEST(Percentile, EmptyAndSingleton)
+{
+    EXPECT_DOUBLE_EQ(percentileNearestRank({}, 0.99), 0);
+    std::vector<double> one{42.0};
+    EXPECT_DOUBLE_EQ(percentileNearestRank(one, 0.5), 42.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(one, 0.999), 42.0);
+}
+
+TEST(Percentile, SummaryTailSeparatesAt1000Samples)
+{
+    // 1000 samples, two stragglers: p99 (rank 990) stays in the body,
+    // p999 (rank 999) lands on the smaller straggler, max on the worst.
+    std::vector<double> values;
+    for (int i = 0; i < 998; ++i)
+        values.push_back(1.0 + i * 1e-4); // body: ~1.0..1.1
+    values.push_back(50.0);
+    values.push_back(100.0);
+    LatencySummary summary = summarizeLatencies(values);
+    EXPECT_EQ(summary.count, 1000u);
+    EXPECT_NEAR(summary.p50, 1.05, 0.01);
+    EXPECT_LT(summary.p99, 1.2);
+    EXPECT_DOUBLE_EQ(summary.p999, 50.0);
+    EXPECT_DOUBLE_EQ(summary.max, 100.0);
+    EXPECT_GT(summary.mean, 1.0);
+}
+
+TEST(Percentile, SummaryAcceptsUnsortedInput)
+{
+    std::vector<double> values{5, 1, 4, 2, 3};
+    LatencySummary summary = summarizeLatencies(values);
+    EXPECT_EQ(summary.count, 5u);
+    EXPECT_DOUBLE_EQ(summary.p50, 3);
+    EXPECT_DOUBLE_EQ(summary.max, 5);
+    EXPECT_DOUBLE_EQ(summary.mean, 3);
+}
+
 TEST(Strings, SplitJoinRoundTrip)
 {
     auto parts = split("a,b,,c", ',');

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Command-line front end for the open-loop traffic stack: generate a
+ * seed-deterministic trace over the built-in three-class mix, drive it
+ * through one admission policy, and print the TrafficReport (and,
+ * optionally, the raw trace). Exists so load points can be explored
+ * interactively without recompiling bench_traffic.
+ *
+ *   nol-traffic [--arrivals N] [--rate R] [--policy fifo|priority|
+ *               spjf|fair] [--process poisson|diurnal] [--seed S]
+ *               [--churn F] [--alpha A] [--slots K] [--autoscale]
+ *               [--network 802.11n|802.11ac] [--dump-trace]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/simnetwork.hpp"
+#include "support/logging.hpp"
+#include "traffic/mix.hpp"
+
+using namespace nol;
+using namespace nol::traffic;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--arrivals N] [--rate R] [--policy fifo|priority|"
+        "spjf|fair]\n           [--process poisson|diurnal] [--seed S] "
+        "[--churn F] [--alpha A]\n           [--slots K] [--autoscale] "
+        "[--network 802.11n|802.11ac]\n           [--dump-trace]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TraceConfig trace_config;
+    trace_config.arrivals = 256;
+    trace_config.ratePerSecond = 0.05;
+    runtime::AdmissionConfig admission;
+    admission.maxConcurrentSessions = 4;
+    admission.maxQueueWaitSeconds = 1e9;
+    std::string network_name = "802.11ac";
+    bool dump_trace = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--arrivals")
+            trace_config.arrivals =
+                static_cast<uint32_t>(std::atoi(value()));
+        else if (arg == "--rate")
+            trace_config.ratePerSecond = std::atof(value());
+        else if (arg == "--seed")
+            trace_config.seed =
+                static_cast<uint64_t>(std::strtoull(value(), nullptr, 10));
+        else if (arg == "--churn")
+            trace_config.churnFraction = std::atof(value());
+        else if (arg == "--alpha")
+            trace_config.mixAlpha = std::atof(value());
+        else if (arg == "--slots")
+            admission.maxConcurrentSessions =
+                static_cast<uint32_t>(std::atoi(value()));
+        else if (arg == "--autoscale")
+            admission.autoscale.enabled = true;
+        else if (arg == "--network")
+            network_name = value();
+        else if (arg == "--dump-trace")
+            dump_trace = true;
+        else if (arg == "--process") {
+            std::string p = value();
+            if (p == "poisson")
+                trace_config.process = ArrivalProcess::Poisson;
+            else if (p == "diurnal")
+                trace_config.process = ArrivalProcess::Diurnal;
+            else
+                usage(argv[0]);
+        } else if (arg == "--policy") {
+            std::string p = value();
+            if (p == "fifo")
+                admission.kind = runtime::AdmissionPolicyKind::Fifo;
+            else if (p == "priority")
+                admission.kind = runtime::AdmissionPolicyKind::Priority;
+            else if (p == "spjf")
+                admission.kind =
+                    runtime::AdmissionPolicyKind::ShortestPredictedFirst;
+            else if (p == "fair")
+                admission.kind = runtime::AdmissionPolicyKind::FairShare;
+            else
+                usage(argv[0]);
+        } else
+            usage(argv[0]);
+    }
+    NOL_ASSERT(trace_config.arrivals > 0, "need at least one arrival");
+    NOL_ASSERT(trace_config.ratePerSecond > 0, "rate must be positive");
+
+    net::NetworkSpec network = network_name == "802.11n"
+                                   ? net::makeWifi80211n()
+                                   : net::makeWifi80211ac();
+    BuiltinMix mix = makeBuiltinMix(network);
+    Trace trace = generateTrace(trace_config, mix.programs.size());
+    if (dump_trace)
+        std::fputs(serializeTrace(trace).c_str(), stdout);
+
+    TrafficReport report = runOpenLoop(trace, mix.programs, admission);
+    std::fputs(serializeTrafficReport(report).c_str(), stdout);
+    return 0;
+}
