@@ -221,6 +221,84 @@ targetMissing()
     return c;
 }
 
+/** A struct-held dispatch table: kernel calls through slot 1 only, yet
+ *  the map lacks slot 1's callee. Field-sensitive resolution needs —
+ *  and repair restores — exactly {@fast}; the insensitive solver would
+ *  collapse the table and demand slot 0's @slow as well. */
+CorpusCase
+fptrSlotMissing()
+{
+    CorpusCase c = makeCase("fptr-slot-missing", diag::kFptrMapMissing);
+    addKernel(*c.mobile);
+
+    ir::Module &srv = *c.server;
+    const ir::FunctionType *fn_ty =
+        srv.types().functionTy(srv.types().i32(), {});
+    ir::IRBuilder builder(srv);
+    ir::Function *slow = srv.createFunction("slow", fn_ty, false);
+    slow->materializeArgs();
+    builder.setInsertPoint(slow->createBlock("entry"));
+    builder.ret(srv.constI32(1));
+    ir::Function *fast = srv.createFunction("fast", fn_ty, false);
+    fast->materializeArgs();
+    builder.setInsertPoint(fast->createBlock("entry"));
+    builder.ret(srv.constI32(2));
+
+    const ir::PointerType *fn_ptr_ty = srv.types().pointerTo(fn_ty);
+    ir::StructType *table_ty = srv.types().createStruct(
+        "Dispatch", {{"slow", fn_ptr_ty}, {"fast", fn_ptr_ty}});
+    ir::GlobalVariable *table = srv.createGlobal(
+        "table", table_ty,
+        ir::Initializer::aggregate({ir::Initializer::ofFunction(slow),
+                                    ir::Initializer::ofFunction(fast)}),
+        false);
+    table->setInUva(true); // only the fptr invariant is broken here
+
+    ir::Function *kernel = srv.createFunction("kernel", fn_ty, false);
+    kernel->materializeArgs();
+    builder.setInsertPoint(kernel->createBlock("entry"));
+    ir::Instruction *slot = builder.fieldAddr(table, 1, "slot");
+    ir::Instruction *fp = builder.load(slot, "fp");
+    ir::Instruction *call = builder.callIndirect(fp, fn_ty, {}, "t");
+    builder.ret(call);
+    c.fptrMap = {}; // fast missing (slow is NOT needed per-slot)
+    return c;
+}
+
+/** A UVA struct global whose field marks cover only field #0, while
+ *  the kernel reads field #1. gv->inUva() is still true, so field-
+ *  insensitive verification accepts this partition — only the
+ *  field-granular check can reject (and repair) it. */
+CorpusCase
+globalFieldNotUva()
+{
+    CorpusCase c = makeCase("global-field-not-uva", diag::kGlobalNotUva);
+    c.fieldSensitiveOnly = true;
+    addKernel(*c.mobile);
+
+    ir::Module &srv = *c.server;
+    ir::StructType *cfg_ty = srv.types().createStruct(
+        "Cfg", {{"scale", srv.types().i32()}, {"bias", srv.types().i32()}});
+    ir::GlobalVariable *cfg = srv.createGlobal(
+        "cfg", cfg_ty,
+        ir::Initializer::aggregate(
+            {ir::Initializer::ofInt(3), ir::Initializer::ofInt(4)}),
+        false);
+    cfg->setInUva(true);
+    cfg->setUvaFields({0}); // bias (field #1) deliberately unmarked
+
+    const ir::FunctionType *fn_ty =
+        srv.types().functionTy(srv.types().i32(), {});
+    ir::Function *kernel = srv.createFunction("kernel", fn_ty, false);
+    kernel->materializeArgs();
+    ir::IRBuilder builder(srv);
+    builder.setInsertPoint(kernel->createBlock("entry"));
+    ir::Instruction *bias = builder.fieldAddr(cfg, 1, "bias");
+    ir::Instruction *load = builder.load(bias, "v");
+    builder.ret(load);
+    return c;
+}
+
 } // namespace
 
 std::vector<CorpusCase>
@@ -235,6 +313,8 @@ buildBrokenCorpus()
     corpus.push_back(stackMarkMismatch());
     corpus.push_back(structuralUnterminated());
     corpus.push_back(targetMissing());
+    corpus.push_back(fptrSlotMissing());
+    corpus.push_back(globalFieldNotUva());
     return corpus;
 }
 
@@ -261,6 +341,20 @@ runBrokenCorpus()
                                        std::string::npos;
             outcome.witnessed = outcome.witnessed || names_something;
         }
+        outcomes.push_back(std::move(outcome));
+    }
+    return outcomes;
+}
+
+std::vector<CorpusRepairOutcome>
+runBrokenCorpusWithRepair(const RepairOptions &options)
+{
+    std::vector<CorpusRepairOutcome> outcomes;
+    std::vector<CorpusCase> corpus = buildBrokenCorpus();
+    for (CorpusCase &c : corpus) {
+        CorpusRepairOutcome outcome;
+        outcome.name = c.name;
+        outcome.report = repairPartition(c.repairInput(), options);
         outcomes.push_back(std::move(outcome));
     }
     return outcomes;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/partitionverifier.hpp"
+#include "analysis/repair.hpp"
 
 namespace nol::analysis {
 
@@ -29,6 +30,12 @@ struct CorpusCase {
     std::vector<std::string> targets;
     std::set<std::string> fptrMap;
 
+    /** True if field-insensitive verification must MISS this case (it
+     *  only exists at field granularity); such cases double as the
+     *  differential evidence that per-field resolution catches broken
+     *  partitions the legacy solver cannot. */
+    bool fieldSensitiveOnly = false;
+
     PartitionCheckInput input() const
     {
         PartitionCheckInput in;
@@ -36,6 +43,17 @@ struct CorpusCase {
         in.server = server.get();
         in.targets = targets;
         in.fptrMap = fptrMap;
+        return in;
+    }
+
+    /** Mutable view for the repair loop (owning pointers stay put). */
+    RepairInput repairInput()
+    {
+        RepairInput in;
+        in.mobile = mobile.get();
+        in.server = server.get();
+        in.targets = &targets;
+        in.fptrMap = &fptrMap;
         return in;
     }
 };
@@ -60,6 +78,20 @@ struct CorpusOutcome {
 
 /** Run verifyPartition over the whole corpus. */
 std::vector<CorpusOutcome> runBrokenCorpus();
+
+/** Verdict of running the repair loop over one corpus case. */
+struct CorpusRepairOutcome {
+    std::string name;
+    RepairReport report;
+
+    /** Repair drove the case to 0 diagnostics within the cap. */
+    bool passed() const { return report.converged; }
+};
+
+/** Run the verify→repair fixpoint over every corpus case; each case
+ *  must converge to 0 diagnostics within options.maxIterations. */
+std::vector<CorpusRepairOutcome>
+runBrokenCorpusWithRepair(const RepairOptions &options = {});
 
 } // namespace nol::analysis
 

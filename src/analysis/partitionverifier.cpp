@@ -21,6 +21,13 @@ checkStructural(const ir::Module &module, DiagnosticEngine &engine)
             engine.report(DiagSeverity::Error, diag::kStructural,
                           "module " + module.name() + ": " + problem);
         diag.function = "";
+        // ir::verifyModule prefixes function-level problems with
+        // "in @<fn>: " — surface the name so repair can act on it.
+        if (problem.rfind("in @", 0) == 0) {
+            size_t colon = problem.find(':');
+            if (colon != std::string::npos)
+                diag.subject = problem.substr(4, colon - 4);
+        }
     }
 }
 
@@ -37,6 +44,7 @@ resolveTargets(const PartitionCheckInput &input, DiagnosticEngine &engine)
                 "offload target @" + name +
                     " has no body in the server module");
             diag.function = name;
+            diag.subject = name;
             continue;
         }
         roots.push_back(fn);
@@ -61,6 +69,7 @@ checkMachineSpecific(const PartitionCheckInput &input,
             "machine-specific instruction reachable from server dispatch "
             "root @" + root->name() + ": " + witness->reason);
         diag.function = root->name();
+        diag.subject = root->name();
         diag.instruction = ir::printInst(*witness->steps.back().inst);
         diag.witness = witness->frames();
     }
@@ -108,10 +117,96 @@ checkReferencedGlobals(const PointsToResult &pts,
                 " is referenced by offloaded code but was not relocated "
                 "into the UVA region");
         diag.function = ref.fn->name();
+        diag.subject = gv->name();
         diag.instruction = ir::printInst(*ref.inst);
         diag.witness = {"@" + ref.fn->name() + ": references global @" +
                         gv->name() + " at '" + ir::printInst(*ref.inst) +
                         "'"};
+    }
+}
+
+/**
+ * Field-granular UVA check (field-sensitive mode only): for struct
+ * globals whose UVA mark was limited to a field subset, every memory
+ * access offloaded code can perform must land on a marked field. A
+ * whole-object access (unknown offset, or the address escaping to an
+ * external routine) needs every field, which a limited mark cannot
+ * promise. Field-insensitive verification cannot see this at all — it
+ * stops at gv->inUva(), which is still true for these globals.
+ */
+void
+checkUvaFieldMarks(const PointsToResult &pts,
+                   const std::vector<const ir::Function *> &roots,
+                   DiagnosticEngine &engine)
+{
+    PointsToResult::Reachable reach = pts.reachableFrom(roots);
+    if (!reach.precise)
+        return; // conservative marking never limits fields
+
+    struct FieldRef {
+        const ir::Function *fn = nullptr;
+        const ir::Instruction *inst = nullptr;
+    };
+    // First witness per (global, field); field -1 = whole-object access.
+    std::map<std::pair<const ir::GlobalVariable *, int32_t>, FieldRef>
+        accessed;
+    auto note = [&](const PtsSet &set, const ir::Function *fn,
+                    const ir::Instruction *inst) {
+        for (const MemObject &obj : set) {
+            if (obj.kind != MemObject::Kind::Global)
+                continue;
+            const auto *gv =
+                static_cast<const ir::GlobalVariable *>(obj.value);
+            accessed.emplace(std::make_pair(gv, obj.field),
+                             FieldRef{fn, inst});
+        }
+    };
+    for (const ir::Function *fn : reach.fns) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                switch (inst->op()) {
+                  case ir::Opcode::Load:
+                    note(pts.pointsTo(inst->operand(0)), fn, inst.get());
+                    break;
+                  case ir::Opcode::Store:
+                    note(pts.pointsTo(inst->operand(1)), fn, inst.get());
+                    break;
+                  case ir::Opcode::Call:
+                    if (inst->callee() != nullptr &&
+                        !inst->callee()->hasBody()) {
+                        for (const ir::Value *op : inst->operands())
+                            note(pts.pointsTo(op), fn, inst.get());
+                    }
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+    for (const auto &[key, ref] : accessed) {
+        const ir::GlobalVariable *gv = key.first;
+        int32_t field = key.second;
+        if (!gv->inUva() || !gv->uvaFieldLimited())
+            continue; // whole-global marking covers every access
+        if (field != kWholeObject && gv->uvaFields().count(field) != 0)
+            continue;
+        std::string what =
+            field == kWholeObject
+                ? "with unknown offset (whole object)"
+                : "at field #" + std::to_string(field);
+        Diagnostic &diag = engine.report(
+            DiagSeverity::Error, diag::kGlobalNotUva,
+            "global @" + gv->name() + " is accessed by offloaded code " +
+                what + " but its UVA mark does not cover that field");
+        diag.function = ref.fn->name();
+        diag.subject = gv->name();
+        diag.field = field;
+        diag.instruction = ir::printInst(*ref.inst);
+        diag.witness = {"@" + ref.fn->name() + ": accesses global @" +
+                        gv->name() + " " + what + " at '" +
+                        ir::printInst(*ref.inst) + "'"};
     }
 }
 
@@ -146,6 +241,7 @@ checkFptrMap(const PartitionCheckInput &input, const PointsToResult &pts,
                             " can flow to a server indirect call but is "
                             "missing from the fptr map");
                     diag.function = fn->name();
+                    diag.subject = target->name();
                     diag.instruction = ir::printInst(*inst);
                     diag.witness = {
                         "@" + fn->name() + ": '" + ir::printInst(*inst) +
@@ -167,6 +263,7 @@ checkFptrMap(const PartitionCheckInput &input, const PointsToResult &pts,
                      : " is dead weight: the server has no indirect "
                        "calls"));
         diag.function = name;
+        diag.subject = name;
     }
 }
 
@@ -205,6 +302,7 @@ checkStackMarks(const PartitionCheckInput &input, DiagnosticEngine &engine)
                         ") and server (" +
                         (si->uvaStack() ? "uva" : "local") + ") clones");
                 diag.function = mob_fn->name();
+                diag.subject = mob_fn->name();
                 diag.instruction = ir::printInst(*si);
             }
         }
@@ -224,9 +322,12 @@ verifyPartition(const PartitionCheckInput &input, DiagnosticEngine &engine)
     std::vector<const ir::Function *> roots =
         resolveTargets(input, engine);
 
-    PointsToResult pts = analyzePointsTo(*input.server);
+    PointsToResult pts = analyzePointsTo(
+        *input.server, {.fieldSensitive = input.fieldSensitive});
     checkMachineSpecific(input, pts, roots, engine);
     checkReferencedGlobals(pts, roots, engine);
+    if (input.fieldSensitive)
+        checkUvaFieldMarks(pts, roots, engine);
     checkFptrMap(input, pts, engine);
     checkStackMarks(input, engine);
 }

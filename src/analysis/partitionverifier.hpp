@@ -43,6 +43,11 @@ struct PartitionCheckInput {
     /** Declared function-pointer translation map (function names). */
     std::set<std::string> fptrMap;
     TaintPolicy policy;
+    /** Run the checks with the field-sensitive points-to solver and
+     *  enforce per-field UVA marks on field-limited struct globals
+     *  (default). Must match the mode the partition was compiled with
+     *  so the verifier's needed sets mirror the compiler's. */
+    bool fieldSensitive = true;
 };
 
 /** Diagnostic codes the verifier emits. */

@@ -3,29 +3,38 @@
 #include "frontend/builtins.hpp"
 #include "ir/callgraph.hpp"
 #include "ir/printer.hpp"
+#include "ir/type.hpp"
 
 namespace nol::analysis {
 
 std::string
 MemObject::str() const
 {
+    std::string base;
     switch (kind) {
       case Kind::Global:
-        return "global @" + value->name();
+        base = "global @" + value->name();
+        break;
       case Kind::Function:
         return "fn @" + value->name();
       case Kind::Heap:
-        return "heap site '" +
+        base = "heap site '" +
                ir::printInst(*static_cast<const ir::Instruction *>(value)) +
                "'";
+        break;
       case Kind::Stack:
-        return "stack slot '" +
+        base = "stack slot '" +
                ir::printInst(*static_cast<const ir::Instruction *>(value)) +
                "'";
+        break;
       case Kind::Unknown:
         return "<unknown>";
+      default:
+        return "<invalid>";
     }
-    return "<invalid>";
+    if (hasField())
+        base += " field #" + std::to_string(field);
+    return base;
 }
 
 bool
@@ -58,9 +67,9 @@ copiesContents(const std::string &name)
 class PointsToSolver
 {
   public:
-    explicit PointsToSolver(const ir::Module &module,
-                            PointsToResult &result)
-        : module_(module), result_(result)
+    PointsToSolver(const ir::Module &module, PointsToResult &result)
+        : module_(module), result_(result),
+          sensitive_(result.options_.fieldSensitive)
     {}
 
     void
@@ -84,6 +93,14 @@ class PointsToSolver
     PtsSet &pts(const ir::Value *v) { return result_.pts_[v]; }
     PtsSet &contents(const MemObject &obj) { return result_.contents_[obj]; }
 
+    /** Contents of @p obj's exact slot, without materializing it. */
+    const PtsSet &
+    contentsConst(const MemObject &obj) const
+    {
+        auto it = result_.contents_.find(obj);
+        return it == result_.contents_.end() ? result_.empty_ : it->second;
+    }
+
     /** dst ⊇ src; true if dst grew. */
     static bool
     addAll(PtsSet &dst, const PtsSet &src)
@@ -100,6 +117,34 @@ class PointsToSolver
         return dst.insert(obj).second;
     }
 
+    /** Union of contents over every slot of @p obj's base object — what
+     *  a load through the whole-object slot may observe. Materialized
+     *  into a fresh set so callers can mutate the contents map while
+     *  consuming it. */
+    PtsSet
+    collectAllSlots(const MemObject &obj) const
+    {
+        PtsSet out;
+        MemObject lo = obj.base();
+        for (auto it = result_.contents_.lower_bound(lo);
+             it != result_.contents_.end() && it->first.sameBase(lo); ++it)
+            out.insert(it->second.begin(), it->second.end());
+        return out;
+    }
+
+    /** The fields (kWholeObject included) with recorded contents on
+     *  @p obj's base — snapshot for slot-preserving copies. */
+    std::vector<int32_t>
+    slotsOf(const MemObject &obj) const
+    {
+        std::vector<int32_t> out;
+        MemObject lo = obj.base();
+        for (auto it = result_.contents_.lower_bound(lo);
+             it != result_.contents_.end() && it->first.sameBase(lo); ++it)
+            out.push_back(it->first.field);
+        return out;
+    }
+
     void
     seed()
     {
@@ -108,14 +153,21 @@ class PointsToSolver
         // in initializers become object contents.
         for (const auto &gv : module_.globals()) {
             add(pts(gv.get()), MemObject::global(gv.get()));
-            seedInit(MemObject::global(gv.get()), gv->init());
+            seedInit(MemObject::global(gv.get()), gv->valueType(),
+                     gv->init());
         }
         for (const auto &fn : module_.functions())
             add(pts(fn.get()), MemObject::function(fn.get()));
     }
 
+    /** Seed initializer-held addresses into @p obj. In field-sensitive
+     *  mode a struct aggregate at the whole-object level distributes
+     *  its elements into per-field slots (one level deep — nested
+     *  aggregates stay in their field's slot); arrays and already-
+     *  fielded objects keep everything in the current slot. */
     void
-    seedInit(const MemObject &obj, const ir::Initializer &init)
+    seedInit(const MemObject &obj, const ir::Type *type,
+             const ir::Initializer &init)
     {
         if (init.kind == ir::Initializer::Kind::Global &&
             init.global != nullptr) {
@@ -125,8 +177,21 @@ class PointsToSolver
             init.function != nullptr) {
             add(contents(obj), MemObject::function(init.function));
         }
-        for (const auto &elem : init.elems)
-            seedInit(obj, elem);
+        if (init.kind != ir::Initializer::Kind::Aggregate)
+            return;
+        const ir::StructType *st =
+            (sensitive_ && !obj.hasField() && type != nullptr &&
+             type->isStruct())
+                ? static_cast<const ir::StructType *>(type)
+                : nullptr;
+        for (size_t i = 0; i < init.elems.size(); ++i) {
+            if (st != nullptr && i < st->numFields()) {
+                seedInit(obj.withField(static_cast<int32_t>(i)),
+                         st->field(i).type, init.elems[i]);
+            } else {
+                seedInit(obj, nullptr, init.elems[i]);
+            }
+        }
     }
 
     bool
@@ -142,9 +207,20 @@ class PointsToSolver
             // Copy to tolerate pts(&inst) aliasing pts(op0) growth.
             PtsSet addr = pts(inst.operand(0));
             for (const MemObject &obj : addr) {
-                grew |= addAll(pts(&inst), contents(obj));
-                if (obj.isUnknown())
+                if (obj.isUnknown()) {
+                    grew |= addAll(pts(&inst), contents(obj));
                     grew |= add(pts(&inst), MemObject::unknown());
+                } else if (!sensitive_) {
+                    grew |= addAll(pts(&inst), contents(obj));
+                } else if (obj.hasField()) {
+                    // A field slot may also hold values written through
+                    // the whole-object (unknown-offset) slot.
+                    grew |= addAll(pts(&inst), contents(obj));
+                    grew |= addAll(pts(&inst), contents(obj.base()));
+                } else {
+                    // Whole-object load: any field's contents.
+                    grew |= addAll(pts(&inst), collectAllSlots(obj));
+                }
             }
             return grew;
           }
@@ -156,7 +232,22 @@ class PointsToSolver
                 grew |= addAll(contents(obj), value);
             return grew;
           }
-          case Op::FieldAddr:
+          case Op::FieldAddr: {
+            if (!sensitive_)
+                return addAll(pts(&inst), pts(inst.operand(0)));
+            bool grew = false;
+            PtsSet base = pts(inst.operand(0));
+            for (const MemObject &obj : base) {
+                if (obj.isUnknown() || obj.hasField()) {
+                    // One-level sensitivity: a nested field stays in
+                    // its enclosing field's slot.
+                    grew |= add(pts(&inst), obj);
+                } else {
+                    grew |= add(pts(&inst), obj.withField(inst.fieldIndex()));
+                }
+            }
+            return grew;
+          }
           case Op::IndexAddr:
           case Op::Bitcast:
           case Op::PtrToInt:
@@ -164,14 +255,21 @@ class PointsToSolver
           case Op::Trunc:
           case Op::ZExt:
           case Op::SExt:
-            // Field-insensitive: derived addresses and int round trips
-            // keep pointing at the base object.
+            // Derived addresses and int round trips stay in their slot
+            // (indexing is assumed to remain within the addressed
+            // subobject, the standard C-level assumption).
             return addAll(pts(&inst), pts(inst.operand(0)));
           case Op::Add:
           case Op::Sub: {
-            // Pointer arithmetic through integers (p2i + offset).
-            bool grew = addAll(pts(&inst), pts(inst.operand(0)));
-            grew |= addAll(pts(&inst), pts(inst.operand(1)));
+            // Pointer arithmetic through integers (p2i + offset): the
+            // offset is untyped, so collapse to the whole object.
+            bool grew = false;
+            for (size_t i = 0; i < 2; ++i) {
+                PtsSet src = pts(inst.operand(i));
+                for (const MemObject &obj : src)
+                    grew |= add(pts(&inst),
+                                sensitive_ ? obj.base() : obj);
+            }
             return grew;
           }
           case Op::Select: {
@@ -223,11 +321,16 @@ class PointsToSolver
         if (isAllocatorName(name)) {
             bool grew = add(pts(&inst), MemObject::heap(&inst));
             if (name == "realloc" || name == "u_realloc") {
-                // The new block inherits pointers stored in the old.
+                // The new block inherits pointers stored in the old,
+                // slot for slot.
                 PtsSet old = pts(inst.operand(first_arg));
                 for (const MemObject &obj : old) {
-                    grew |= addAll(contents(MemObject::heap(&inst)),
-                                   contents(obj));
+                    for (int32_t f : slotsOf(obj)) {
+                        MemObject src = obj.base().withField(f);
+                        grew |= addAll(
+                            contents(MemObject::heap(&inst).withField(f)),
+                            contentsConst(src));
+                    }
                 }
             }
             return grew;
@@ -237,10 +340,9 @@ class PointsToSolver
             if (copiesContents(name) && inst.numOperands() > first_arg + 1) {
                 PtsSet dst = pts(inst.operand(first_arg));
                 PtsSet src = pts(inst.operand(first_arg + 1));
-                for (const MemObject &dobj : dst) {
+                for (const MemObject &dobj : dst)
                     for (const MemObject &sobj : src)
-                        grew |= addAll(contents(dobj), contents(sobj));
-                }
+                        grew |= transferCopy(dobj, sobj);
             }
             return grew;
         }
@@ -251,13 +353,40 @@ class PointsToSolver
             return false;
         }
         // Unknown external: everything reachable from the arguments
-        // escapes, and the return value is untracked.
+        // escapes, and the return value is untracked. The escape is
+        // written to the whole-object slot so every field load (which
+        // always consults that slot) observes it.
         bool grew = add(pts(&inst), MemObject::unknown());
         for (size_t i = first_arg; i < inst.numOperands(); ++i) {
             const PtsSet arg = pts(inst.operand(i));
             grew |= addAll(contents(MemObject::unknown()), arg);
-            for (const MemObject &obj : arg)
+            for (const MemObject &obj : arg) {
                 grew |= add(contents(obj), MemObject::unknown());
+                if (sensitive_ && obj.hasField())
+                    grew |= add(contents(obj.base()), MemObject::unknown());
+            }
+        }
+        return grew;
+    }
+
+    /** memcpy-style contents copy from @p sobj into @p dobj. When both
+     *  sides address whole objects the copy is slot-preserving; any
+     *  field offset on either side collapses the copy into the
+     *  destination's whole-object slot (sound: every field load also
+     *  consults it). */
+    bool
+    transferCopy(const MemObject &dobj, const MemObject &sobj)
+    {
+        if (!sensitive_)
+            return addAll(contents(dobj), contentsConst(sobj));
+        bool grew = false;
+        if (!dobj.hasField() && !sobj.hasField()) {
+            for (int32_t f : slotsOf(sobj)) {
+                grew |= addAll(contents(dobj.withField(f)),
+                               contentsConst(sobj.base().withField(f)));
+            }
+        } else {
+            grew |= addAll(contents(dobj.base()), collectAllSlots(sobj));
         }
         return grew;
     }
@@ -286,6 +415,7 @@ class PointsToSolver
 
     const ir::Module &module_;
     PointsToResult &result_;
+    const bool sensitive_;
 };
 
 const PtsSet &
@@ -300,6 +430,17 @@ PointsToResult::contents(const MemObject &obj) const
 {
     auto it = contents_.find(obj);
     return it == contents_.end() ? empty_ : it->second;
+}
+
+PtsSet
+PointsToResult::contentsOfAllSlots(const MemObject &obj) const
+{
+    PtsSet out;
+    MemObject lo = obj.base();
+    for (auto it = contents_.lower_bound(lo);
+         it != contents_.end() && it->first.sameBase(lo); ++it)
+        out.insert(it->second.begin(), it->second.end());
+    return out;
 }
 
 PointsToResult::CalleeSet
@@ -353,9 +494,11 @@ PointsToResult::reachableFrom(
 }
 
 PointsToResult
-analyzePointsTo(const ir::Module &module)
+analyzePointsTo(const ir::Module &module, const PointsToOptions &options)
 {
     PointsToResult result;
+    result.options_ = options;
+    result.stats_.fieldSensitive = options.fieldSensitive;
     PointsToSolver(module, result).run();
 
     // Conservative fallback universe (includes initializer escapes).
@@ -397,6 +540,13 @@ analyzePointsTo(const ir::Module &module)
         objects.insert(set.begin(), set.end());
     }
     result.stats_.objects = objects.size();
+    std::set<std::pair<int, const ir::Value *>> bases;
+    for (const MemObject &obj : objects) {
+        bases.insert({static_cast<int>(obj.kind), obj.value});
+        if (obj.hasField())
+            ++result.stats_.fieldSlots;
+    }
+    result.stats_.baseObjects = bases.size();
     return result;
 }
 

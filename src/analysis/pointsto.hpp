@@ -1,9 +1,24 @@
 /**
  * @file
- * Flow-insensitive, field-insensitive Andersen-style points-to
- * analysis over the offloading IR, with call-graph-driven
- * interprocedural propagation (indirect call edges are resolved from
- * the function-pointer sets as they grow).
+ * Flow-insensitive Andersen-style points-to analysis over the
+ * offloading IR, with call-graph-driven interprocedural propagation
+ * (indirect call edges are resolved from the function-pointer sets as
+ * they grow).
+ *
+ * The solver is *field-sensitive* by default: an abstract object
+ * carries an optional field dimension derived from the typed FieldAddr
+ * instruction, so a struct whose slot 0 holds a function pointer and
+ * whose slot 1 holds a data pointer keeps the two flows apart — the
+ * memory unifier ships only the fields the offloaded code can reach
+ * and the partitioner resolves function-pointer tables stored *inside*
+ * structs to per-slot callee sets. Untyped address arithmetic
+ * (ptrtoint + add) and nested aggregates fall back to a conservative
+ * field collapse: the whole-object slot over-approximates every field,
+ * loads from a field consult the whole-object slot, and loads through
+ * the whole-object slot consult every field. The field-insensitive
+ * solver is kept alive behind PointsToOptions::fieldSensitive=false as
+ * the differential oracle — field-sensitive results must be a subset
+ * of the insensitive ones on every workload.
  *
  * Abstract memory objects are globals, functions, heap allocation
  * sites (one per malloc/u_malloc-family call) and stack slots (one per
@@ -20,6 +35,7 @@
 #ifndef NOL_ANALYSIS_POINTSTO_HPP
 #define NOL_ANALYSIS_POINTSTO_HPP
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -31,7 +47,10 @@ namespace nol::analysis {
 
 class PointsToSolver;
 
-/** One abstract memory object. */
+/** Field index meaning "the whole object / unknown offset". */
+inline constexpr int32_t kWholeObject = -1;
+
+/** One abstract memory object (optionally one field of it). */
 struct MemObject {
     enum class Kind {
         Global,   ///< a GlobalVariable
@@ -43,50 +62,82 @@ struct MemObject {
 
     Kind kind = Kind::Unknown;
     const ir::Value *value = nullptr; ///< null for Unknown
+    /** Field subobject (FieldAddr index), or kWholeObject for the base
+     *  address / a collapsed (untyped or variable) offset. The whole-
+     *  object slot over-approximates every field slot. */
+    int32_t field = kWholeObject;
 
     bool operator<(const MemObject &o) const
     {
-        return kind != o.kind ? kind < o.kind : value < o.value;
+        if (kind != o.kind)
+            return kind < o.kind;
+        if (value != o.value)
+            return value < o.value;
+        return field < o.field;
     }
     bool operator==(const MemObject &o) const
+    {
+        return kind == o.kind && value == o.value && field == o.field;
+    }
+
+    bool isUnknown() const { return kind == Kind::Unknown; }
+    bool hasField() const { return field != kWholeObject; }
+
+    /** Same object, addressed at @p f. */
+    MemObject withField(int32_t f) const { return {kind, value, f}; }
+
+    /** Same object, whole-object slot. */
+    MemObject base() const { return {kind, value, kWholeObject}; }
+
+    /** True if @p o names (a field of) the same base object. */
+    bool sameBase(const MemObject &o) const
     {
         return kind == o.kind && value == o.value;
     }
 
-    bool isUnknown() const { return kind == Kind::Unknown; }
-
-    /** "global @board", "fn @evalPawn", "heap site 'call @malloc...'". */
+    /** "global @board", "global @cfg.f1", "fn @evalPawn", ... */
     std::string str() const;
 
     static MemObject unknown() { return {}; }
     static MemObject global(const ir::GlobalVariable *gv)
     {
-        return {Kind::Global, gv};
+        return {Kind::Global, gv, kWholeObject};
     }
     static MemObject function(const ir::Function *fn)
     {
-        return {Kind::Function, fn};
+        return {Kind::Function, fn, kWholeObject};
     }
     static MemObject heap(const ir::Instruction *site)
     {
-        return {Kind::Heap, site};
+        return {Kind::Heap, site, kWholeObject};
     }
     static MemObject stack(const ir::Instruction *slot)
     {
-        return {Kind::Stack, slot};
+        return {Kind::Stack, slot, kWholeObject};
     }
 };
 
 /** A may-point-to set. */
 using PtsSet = std::set<MemObject>;
 
-/** Solver statistics (reported by bench_analysis). */
+/** Solver configuration. */
+struct PointsToOptions {
+    /** Track per-field object contents (default). False selects the
+     *  legacy field-insensitive solver — kept as the differential
+     *  oracle: sensitive results must be a subset of insensitive. */
+    bool fieldSensitive = true;
+};
+
+/** Solver statistics (reported by bench_analysis and nol-verify). */
 struct PointsToStats {
     size_t nodes = 0;       ///< values with a (possibly empty) set
-    size_t objects = 0;     ///< distinct abstract objects
+    size_t objects = 0;     ///< distinct abstract objects (incl. fields)
+    size_t baseObjects = 0; ///< distinct base objects (fields merged)
+    size_t fieldSlots = 0;  ///< objects with a concrete field index
     size_t totalEdges = 0;  ///< sum of all set sizes
     size_t maxSetSize = 0;  ///< largest single set
     size_t iterations = 0;  ///< fixpoint passes over the module
+    bool fieldSensitive = false; ///< mode the solver ran in
 };
 
 /** Immutable result of one points-to run over one module. */
@@ -96,8 +147,13 @@ class PointsToResult
     /** May-point-to set of @p v (empty for untracked values). */
     const PtsSet &pointsTo(const ir::Value *v) const;
 
-    /** May-point-to set of the pointers stored inside @p obj. */
+    /** May-point-to set of the pointers stored inside @p obj (the
+     *  exact slot only — see contentsOfAllSlots for the sound read). */
     const PtsSet &contents(const MemObject &obj) const;
+
+    /** Union of contents over every slot of @p obj's base object —
+     *  what a load through an unknown offset may observe. */
+    PtsSet contentsOfAllSlots(const MemObject &obj) const;
 
     /** Every object with recorded contents (escape analysis walks
      *  this to find stack slots whose address was stored somewhere). */
@@ -144,10 +200,15 @@ class PointsToResult
 
     const PointsToStats &stats() const { return stats_; }
 
+    /** Mode the solver ran in. */
+    bool fieldSensitive() const { return options_.fieldSensitive; }
+
   private:
     friend class PointsToSolver;
-    friend PointsToResult analyzePointsTo(const ir::Module &module);
+    friend PointsToResult analyzePointsTo(const ir::Module &module,
+                                          const PointsToOptions &options);
 
+    PointsToOptions options_;
     std::map<const ir::Value *, PtsSet> pts_;
     std::map<MemObject, PtsSet> contents_;
     std::map<const ir::Function *, FunctionCallees> fn_callees_;
@@ -158,7 +219,8 @@ class PointsToResult
 };
 
 /** Run the analysis on @p module. */
-PointsToResult analyzePointsTo(const ir::Module &module);
+PointsToResult analyzePointsTo(const ir::Module &module,
+                               const PointsToOptions &options = {});
 
 /** True if @p name is a heap-allocator entry point the analysis models
  *  as a fresh allocation site (malloc family and its u_* UVA twins). */

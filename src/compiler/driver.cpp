@@ -1,5 +1,7 @@
 #include "compiler/driver.hpp"
 
+#include <algorithm>
+
 #include "analysis/partitionverifier.hpp"
 #include "ir/callgraph.hpp"
 #include "support/logging.hpp"
@@ -51,11 +53,14 @@ compileForOffload(std::unique_ptr<ir::Module> module,
     OutlinedTargets outlined = outlineTargets(*module, out.selection);
 
     // 5. Memory unification (whole-module, before partitioning).
-    out.unifyStats = unifyMemory(*module, outlined.fns,
-                                 options.mobileSpec, options.serverSpec);
+    out.unifyStats = unifyMemory(
+        *module, outlined.fns, options.mobileSpec, options.serverSpec,
+        {.fieldSensitive = options.fieldSensitiveAnalysis});
 
     // 6. Partition into mobile and server modules.
-    out.partition = partitionModule(*module, outlined);
+    out.partition = partitionModule(
+        *module, outlined,
+        {.fieldSensitive = options.fieldSensitiveAnalysis});
 
     out.unified = std::move(module);
     return out;
@@ -71,8 +76,38 @@ verifyOffloadSafety(const CompiledProgram &prog)
     for (const PartitionedTarget &target : prog.partition.targets)
         input.targets.push_back(target.name);
     input.fptrMap = prog.partition.fptrMap;
+    input.fieldSensitive = prog.unifyStats.fieldSensitive;
     analysis::verifyPartition(input, engine);
     return engine;
+}
+
+analysis::RepairReport
+repairOffloadSafety(CompiledProgram &prog,
+                    const analysis::RepairOptions &options)
+{
+    std::vector<std::string> target_names;
+    for (const PartitionedTarget &target : prog.partition.targets)
+        target_names.push_back(target.name);
+
+    analysis::RepairInput input;
+    input.mobile = prog.partition.mobileModule.get();
+    input.server = prog.partition.serverModule.get();
+    input.targets = &target_names;
+    input.fptrMap = &prog.partition.fptrMap;
+    input.fieldSensitive = prog.unifyStats.fieldSensitive;
+    analysis::RepairReport report =
+        analysis::repairPartition(input, options);
+
+    // Repair may have demoted targets; shrink the partition's list to
+    // match so the runtime never dispatches a demoted target.
+    std::set<std::string> kept(target_names.begin(), target_names.end());
+    auto &targets = prog.partition.targets;
+    targets.erase(std::remove_if(targets.begin(), targets.end(),
+                                 [&](const PartitionedTarget &t) {
+                                     return kept.count(t.name) == 0;
+                                 }),
+                  targets.end());
+    return report;
 }
 
 } // namespace nol::compiler

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "analysis/repair.hpp"
 #include "compiler/memunifier.hpp"
 #include "compiler/partitioner.hpp"
 #include "compiler/targetselector.hpp"
@@ -28,6 +29,10 @@ struct CompileOptions {
     FilterConfig filter;
     profile::ProfileInput profilingInput;
     std::string entry = "main";
+    /** Run memory unification and partitioning with the field-
+     *  sensitive points-to solver (default); false selects the legacy
+     *  field-insensitive pipeline, kept as the differential oracle. */
+    bool fieldSensitiveAnalysis = true;
 
     CompileOptions();
 };
@@ -65,6 +70,18 @@ CompiledProgram compileForOffload(std::unique_ptr<ir::Module> module,
  * An engine without errors means the partition is safe to ship.
  */
 support::DiagnosticEngine verifyOffloadSafety(const CompiledProgram &prog);
+
+/**
+ * Verify @p prog and, when verification finds repairable invariant
+ * violations, run the bounded verifier-driven repair loop *in place*:
+ * globals are promoted into UVA, fptr map entries added/dropped,
+ * unsafe targets demoted to local-only execution (the partition's
+ * target list shrinks accordingly). The report records every action
+ * and whether the loop converged to 0 diagnostics.
+ */
+analysis::RepairReport
+repairOffloadSafety(CompiledProgram &prog,
+                    const analysis::RepairOptions &options = {});
 
 } // namespace nol::compiler
 

@@ -3,6 +3,7 @@
 #include "analysis/pointsto.hpp"
 #include "frontend/builtins.hpp"
 #include "ir/datalayout.hpp"
+#include "sim/pagedmemory.hpp"
 
 namespace nol::compiler {
 
@@ -102,6 +103,70 @@ collectGlobalsPointsTo(const ir::Function &fn,
     }
 }
 
+/** Per-field access marks for struct globals: which field subobjects
+ *  offload-reachable code may actually load from, store to, or hand to
+ *  an external routine. A whole-object access (unknown offset, address
+ *  escaping wholesale) clears the limit for that global. Only memory
+ *  *accesses* count — a global merely appearing as an operand (its
+ *  address being computed) does not touch any field yet. */
+struct FieldAccessMarks {
+    std::map<const ir::GlobalVariable *, std::set<int32_t>> fields;
+    std::set<const ir::GlobalVariable *> whole;
+};
+
+void
+collectFieldAccesses(const ir::Function &fn,
+                     const analysis::PointsToResult &pts,
+                     FieldAccessMarks &out)
+{
+    auto note = [&](const analysis::PtsSet &set) {
+        for (const analysis::MemObject &obj : set) {
+            if (obj.kind != analysis::MemObject::Kind::Global)
+                continue;
+            const auto *gv = static_cast<const ir::GlobalVariable *>(obj.value);
+            if (obj.hasField())
+                out.fields[gv].insert(obj.field);
+            else
+                out.whole.insert(gv);
+        }
+    };
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            switch (inst->op()) {
+              case ir::Opcode::Load:
+                note(pts.pointsTo(inst->operand(0)));
+                break;
+              case ir::Opcode::Store:
+                note(pts.pointsTo(inst->operand(1)));
+                break;
+              case ir::Opcode::Call:
+                // A defined callee's own accesses are collected when
+                // this walk visits it (it is points-to reachable); an
+                // external may dereference any pointer it is handed.
+                if (inst->callee() != nullptr && !inst->callee()->hasBody()) {
+                    for (const ir::Value *op : inst->operands())
+                        note(pts.pointsTo(op));
+                }
+                break;
+              case ir::Opcode::CallIndirect: {
+                analysis::PointsToResult::CalleeSet cs =
+                    pts.indirectCallees(inst.get());
+                bool external_target = !cs.complete;
+                for (const ir::Function *target : cs.fns)
+                    external_target |= !target->hasBody();
+                if (external_target) {
+                    for (const ir::Value *op : inst->operands())
+                        note(pts.pointsTo(op));
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+}
+
 /** Alloca slots whose address escapes their frame: stored into any
  *  object, passed to a call, or returned. */
 std::set<const ir::Instruction *>
@@ -138,13 +203,37 @@ escapedStackSlots(const ir::Module &module,
     return escaped;
 }
 
+/** Base of the UVA globals range (mirrors interp::kUvaGlobalBase). */
+constexpr uint64_t kUvaGlobalBase = 0x3000'0000ull;
+
+/** Replay the loader's UVA packing over @p referenced (module order,
+ *  align max(natural, 8)) and return the page footprint — the static
+ *  count of 4 KiB pages the UVA global region would span. */
+size_t
+uvaPageFootprint(const ir::Module &module, const ir::DataLayout &dl,
+                 const std::set<const ir::GlobalVariable *> &referenced)
+{
+    uint64_t cursor = kUvaGlobalBase;
+    for (const auto &gv : module.globals()) {
+        if (referenced.count(gv.get()) == 0)
+            continue;
+        uint64_t align = std::max<uint64_t>(dl.alignOf(gv->valueType()), 8);
+        cursor = ir::alignUp(cursor, align);
+        cursor += dl.sizeOf(gv->valueType());
+    }
+    return static_cast<size_t>((cursor - kUvaGlobalBase + sim::kPageSize - 1) /
+                               sim::kPageSize);
+}
+
 } // namespace
 
 UnifyStats
 unifyMemory(ir::Module &module, const std::vector<ir::Function *> &targets,
-            const arch::ArchSpec &mobile, const arch::ArchSpec &server)
+            const arch::ArchSpec &mobile, const arch::ArchSpec &server,
+            const UnifyOptions &options)
 {
     UnifyStats stats;
+    stats.fieldSensitive = options.fieldSensitive;
 
     // 1. Memory layout realignment: pin every struct to the mobile
     //    layout (the mobile device is the offloading default, Fig. 4).
@@ -206,26 +295,74 @@ unifyMemory(ir::Module &module, const std::vector<ir::Function *> &targets,
     closeOverInitializers(conservative);
     stats.uvaGlobalsConservative = conservative.size();
 
-    analysis::PointsToResult pts = analysis::analyzePointsTo(module);
     std::vector<const ir::Function *> roots(targets.begin(),
                                             targets.end());
+    auto refine = [&](const analysis::PointsToResult &p,
+                      const analysis::PointsToResult::Reachable &reach) {
+        std::set<const ir::GlobalVariable *> out;
+        if (reach.precise) {
+            for (const ir::Function *fn : reach.fns)
+                collectGlobalsPointsTo(*fn, p, out);
+            closeOverInitializers(out);
+        } else {
+            out = conservative;
+        }
+        return out;
+    };
+
+    analysis::PointsToResult pts = analysis::analyzePointsTo(
+        module, {.fieldSensitive = options.fieldSensitive});
     analysis::PointsToResult::Reachable reach = pts.reachableFrom(roots);
     stats.pointsToPrecise = reach.precise;
+    std::set<const ir::GlobalVariable *> referenced = refine(pts, reach);
 
-    std::set<const ir::GlobalVariable *> referenced;
-    if (reach.precise) {
-        for (const ir::Function *fn : reach.fns)
-            collectGlobalsPointsTo(*fn, pts, referenced);
-        closeOverInitializers(referenced);
+    // Differential oracle: what the field-insensitive solver would have
+    // marked. The sensitive set must be a subset of it (CI asserts this
+    // on all workloads via nol-verify --stats); equal when field
+    // sensitivity is off.
+    ir::DataLayout stats_dl{mobile};
+    if (options.fieldSensitive) {
+        analysis::PointsToResult insens =
+            analysis::analyzePointsTo(module, {.fieldSensitive = false});
+        std::set<const ir::GlobalVariable *> insens_referenced =
+            refine(insens, insens.reachableFrom(roots));
+        stats.uvaGlobalsInsensitive = insens_referenced.size();
+        stats.uvaPagesInsensitive =
+            uvaPageFootprint(module, stats_dl, insens_referenced);
     } else {
-        referenced = conservative;
+        stats.uvaGlobalsInsensitive = referenced.size();
+        stats.uvaPagesInsensitive =
+            uvaPageFootprint(module, stats_dl, referenced);
     }
+    stats.uvaPages = uvaPageFootprint(module, stats_dl, referenced);
 
     stats.totalGlobals = module.globals().size();
     for (const auto &gv : module.globals()) {
         if (referenced.count(gv.get()) != 0) {
             gv->setInUva(true);
             ++stats.uvaGlobals;
+        }
+    }
+
+    // Per-field UVA marks: a struct global whose accesses all carry a
+    // concrete field index gets its mark limited to those fields. The
+    // placement is untouched (the loader still maps the whole global,
+    // keeping addresses bit-identical to insensitive mode); the marks
+    // feed the verifier's field-level check and the repair loop.
+    if (options.fieldSensitive && reach.precise) {
+        FieldAccessMarks marks;
+        for (const ir::Function *fn : reach.fns)
+            collectFieldAccesses(*fn, pts, marks);
+        for (const auto &gv : module.globals()) {
+            if (!gv->inUva() || !gv->valueType()->isStruct() ||
+                marks.whole.count(gv.get()) != 0) {
+                continue;
+            }
+            auto it = marks.fields.find(gv.get());
+            if (it == marks.fields.end())
+                continue; // never accessed (initializer-dragged): whole
+            gv->setUvaFields(it->second);
+            ++stats.uvaFieldLimitedGlobals;
         }
     }
 

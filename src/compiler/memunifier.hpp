@@ -28,6 +28,16 @@
 
 namespace nol::compiler {
 
+/** Memory unification knobs. */
+struct UnifyOptions {
+    /** Use the field-sensitive points-to solver for the referenced-
+     *  global refinement and record per-field UVA marks on struct
+     *  globals (default). False reproduces the legacy field-
+     *  insensitive pipeline exactly — kept as the differential
+     *  oracle. */
+    bool fieldSensitive = true;
+};
+
 /** What the unifier did (Table 4 bookkeeping). */
 struct UnifyStats {
     size_t allocSitesReplaced = 0;
@@ -38,12 +48,25 @@ struct UnifyStats {
      *  paper's conservative Sec. 3.2 algorithm) — the baseline the
      *  points-to refinement is measured against in bench_analysis. */
     size_t uvaGlobalsConservative = 0;
+    /** UVA globals the field-insensitive solver would have marked —
+     *  the differential-oracle baseline; the field-sensitive set must
+     *  be a subset of it (equal when fieldSensitive is off). */
+    size_t uvaGlobalsInsensitive = 0;
+    /** Static UVA page footprint (loader packing replayed over the
+     *  marked globals), sensitive vs the insensitive baseline. Every
+     *  page shaved here is a page the fleet never prefetches. */
+    size_t uvaPages = 0;
+    size_t uvaPagesInsensitive = 0;
+    /** Struct globals whose UVA mark was limited to a field subset. */
+    size_t uvaFieldLimitedGlobals = 0;
     /** Alloca slots marked for unified-space reallocation (their
      *  address escapes an offload-reachable frame). */
     size_t stackSlotsUnified = 0;
     /** Points-to reachability was precise (no address-taken fallback);
      *  when false the conservative global set was used instead. */
     bool pointsToPrecise = false;
+    /** Mode the refinement ran in (UnifyOptions::fieldSensitive). */
+    bool fieldSensitive = false;
     bool addressSizeConversion = false; ///< mobile/server widths differ
     bool endiannessTranslation = false; ///< mobile/server orders differ
 };
@@ -56,7 +79,8 @@ struct UnifyStats {
 UnifyStats unifyMemory(ir::Module &module,
                        const std::vector<ir::Function *> &targets,
                        const arch::ArchSpec &mobile,
-                       const arch::ArchSpec &server);
+                       const arch::ArchSpec &server,
+                       const UnifyOptions &options = {});
 
 } // namespace nol::compiler
 

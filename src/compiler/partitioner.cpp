@@ -75,8 +75,35 @@ outlineTargets(ir::Module &module, const SelectionResult &selection)
     return out;
 }
 
+/** Build the Sec. 3.4 translation map over @p srv with @p pts: one
+ *  entry per function whose address may flow to an indirect call that
+ *  can execute on the server; unresolved sites fall back to the
+ *  conservative "every address-taken function" baseline. */
+std::set<std::string>
+buildFptrMap(const ir::Module &srv, const analysis::PointsToResult &pts)
+{
+    std::set<std::string> out;
+    for (const auto &fn : srv.functions()) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (inst->op() != ir::Opcode::CallIndirect)
+                    continue;
+                analysis::PointsToResult::CalleeSet callees =
+                    pts.indirectCallees(inst.get());
+                const auto &targets = callees.complete
+                                          ? callees.fns
+                                          : pts.addressTaken();
+                for (const ir::Function *target : targets)
+                    out.insert(target->name());
+            }
+        }
+    }
+    return out;
+}
+
 PartitionResult
-partitionModule(ir::Module &module, const OutlinedTargets &outlined)
+partitionModule(ir::Module &module, const OutlinedTargets &outlined,
+                const PartitionOptions &options)
 {
     PartitionResult result;
     result.targets = outlined.targets;
@@ -185,22 +212,20 @@ partitionModule(ir::Module &module, const OutlinedTargets &outlined)
         // indirect call that can execute here. Points-to shrinks that
         // from the conservative "every address-taken function"; a site
         // whose pointer escaped tracking falls back to the baseline.
-        analysis::PointsToResult pts = analysis::analyzePointsTo(srv);
+        // Field-sensitive resolution narrows struct-held tables to the
+        // slots actually dispatched through; the insensitive map is
+        // recorded alongside as the differential-oracle baseline.
+        analysis::PointsToResult pts = analysis::analyzePointsTo(
+            srv, {.fieldSensitive = options.fieldSensitive});
         result.fptrMapConservative = pts.addressTaken().size();
-        for (const auto &fn : srv.functions()) {
-            for (const auto &bb : fn->blocks()) {
-                for (const auto &inst : bb->insts()) {
-                    if (inst->op() != ir::Opcode::CallIndirect)
-                        continue;
-                    analysis::PointsToResult::CalleeSet callees =
-                        pts.indirectCallees(inst.get());
-                    const auto &targets = callees.complete
-                                              ? callees.fns
-                                              : pts.addressTaken();
-                    for (const ir::Function *target : targets)
-                        result.fptrMap.insert(target->name());
-                }
-            }
+        result.fptrMap = buildFptrMap(srv, pts);
+        if (options.fieldSensitive) {
+            result.fptrMapInsensitive =
+                buildFptrMap(srv, analysis::analyzePointsTo(
+                                      srv, {.fieldSensitive = false}))
+                    .size();
+        } else {
+            result.fptrMapInsensitive = result.fptrMap.size();
         }
         ir::verifyModuleOrDie(srv);
     }

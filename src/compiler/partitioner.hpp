@@ -61,10 +61,23 @@ struct PartitionResult {
     /** Function-pointer translation map (Sec. 3.4): names of functions
      *  whose address may flow to an indirect call executed on the
      *  server, shrunk by points-to from the conservative "every
-     *  address-taken function" baseline. */
+     *  address-taken function" baseline. Field-sensitive points-to
+     *  resolves tables stored inside structs per slot, so a dispatch
+     *  through slot k no longer drags in the other slots' callees. */
     std::set<std::string> fptrMap;
     /** Size of the conservative baseline map (all address-taken). */
     size_t fptrMapConservative = 0;
+    /** Size of the map the field-insensitive solver would build — the
+     *  differential-oracle baseline (== fptrMap.size() when field
+     *  sensitivity is off). */
+    size_t fptrMapInsensitive = 0;
+};
+
+/** Partitioning knobs. */
+struct PartitionOptions {
+    /** Resolve server indirect-call sites with the field-sensitive
+     *  solver (default); false reproduces the legacy pipeline. */
+    bool fieldSensitive = true;
 };
 
 /** Targets materialized as functions (loops outlined). */
@@ -86,7 +99,8 @@ OutlinedTargets outlineTargets(ir::Module &module,
  * the mobile and server modules and apply the per-side transforms.
  */
 PartitionResult partitionModule(ir::Module &module,
-                                const OutlinedTargets &outlined);
+                                const OutlinedTargets &outlined,
+                                const PartitionOptions &options = {});
 
 } // namespace nol::compiler
 

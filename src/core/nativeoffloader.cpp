@@ -21,6 +21,7 @@ Program::compile(const CompileRequest &request)
     options.profilingInput = request.profilingInput;
     options.estimator.speedRatio = 0.0; // derive from the specs
     options.estimator.bandwidthMbps = request.staticBandwidthMbps;
+    options.fieldSensitiveAnalysis = request.fieldSensitiveAnalysis;
 
     auto compiled = std::make_shared<compiler::CompiledProgram>(
         compiler::compileForOffload(std::move(module), options));

@@ -45,6 +45,10 @@ struct CompileRequest {
      *  Table 3 uses 80). This should be pre-scaled consistently with
      *  the runtime memScale when workloads are scaled. */
     double staticBandwidthMbps = 80.0;
+    /** Compile with the field-sensitive points-to solver (default);
+     *  false selects the legacy field-insensitive pipeline — kept as
+     *  the differential oracle for A/B precision studies. */
+    bool fieldSensitiveAnalysis = true;
 
     CompileRequest();
 };
@@ -98,6 +102,18 @@ class Program
     support::DiagnosticEngine verify() const
     {
         return compiler::verifyOffloadSafety(*compiled_);
+    }
+
+    /** Verification plus the bounded verifier-driven repair loop (see
+     *  compiler::repairOffloadSafety): diagnostics are turned into
+     *  in-place fixes — globals promoted into UVA, fptr map entries
+     *  added/dropped, unsafe targets demoted — until the partition
+     *  verifies clean or the iteration cap is hit. Mutates the
+     *  compiled partition. */
+    analysis::RepairReport
+    verifyAndRepair(const analysis::RepairOptions &options = {}) const
+    {
+        return compiler::repairOffloadSafety(*compiled_, options);
     }
 
     /** Names of the selected offload targets. */

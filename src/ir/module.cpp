@@ -169,6 +169,8 @@ Module::clone(const std::string &new_name, CloneMap &map) const
         GlobalVariable *ngv = out->createGlobal(
             gv->name(), gv->valueType(), Initializer::zero(), gv->isConst());
         ngv->setInUva(gv->inUva());
+        if (gv->uvaFieldLimited())
+            ngv->setUvaFields(gv->uvaFields());
         map.values[gv.get()] = ngv;
     }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -233,11 +234,44 @@ class GlobalVariable : public Value
     bool inUva() const { return in_uva_; }
     void setInUva(bool in_uva) { in_uva_ = in_uva; }
 
+    /**
+     * Field-granular UVA provenance (field-sensitive memory
+     * unification): when limited, only the listed field indices of
+     * this struct global were found referenced by offloaded code.
+     * Placement stays whole-object — the loader still maps the full
+     * global into UVA space, so addresses are bit-identical to
+     * insensitive mode — but the marks drive the verifier's
+     * field-level global-not-uva check and the page accounting, and
+     * partition repair widens them.
+     */
+    bool uvaFieldLimited() const { return uva_field_limited_; }
+    const std::set<int32_t> &uvaFields() const { return uva_fields_; }
+
+    void
+    setUvaFields(std::set<int32_t> fields)
+    {
+        uva_fields_ = std::move(fields);
+        uva_field_limited_ = true;
+    }
+
+    /** Widen the mark set (partition repair promotes one field). */
+    void addUvaField(int32_t field) { uva_fields_.insert(field); }
+
+    /** Drop field granularity (back to whole-object UVA marking). */
+    void
+    clearUvaFields()
+    {
+        uva_fields_.clear();
+        uva_field_limited_ = false;
+    }
+
   private:
     const Type *value_type_;
     Initializer init_;
     bool is_const_;
     bool in_uva_ = false;
+    bool uva_field_limited_ = false;
+    std::set<int32_t> uva_fields_;
 };
 
 } // namespace nol::ir

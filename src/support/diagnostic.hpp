@@ -11,6 +11,7 @@
 #ifndef NOL_SUPPORT_DIAGNOSTIC_HPP
 #define NOL_SUPPORT_DIAGNOSTIC_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,15 @@ struct Diagnostic {
     std::string message;     ///< human-readable one-liner
     std::string function;    ///< offending function name ("" = module level)
     std::string instruction; ///< offending instruction, printed ("" = none)
+    /** Primary subject of the finding — the global, function or map
+     *  entry the finding is *about* (vs. `function`, where it was
+     *  observed). This is the handle partition repair acts on:
+     *  promote this global, add this map entry, demote this target. */
+    std::string subject;
+    /** Field index within the subject when the finding is field-
+     *  granular (a field-limited struct global accessed outside its
+     *  UVA field marks); -1 = whole object. */
+    int32_t field = -1;
     /** Call chain proving the finding, outermost frame first; each
      *  entry is one rendered frame ("@main: call @getPlayerTurn"). */
     std::vector<std::string> witness;

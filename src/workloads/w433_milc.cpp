@@ -17,6 +17,13 @@ namespace {
 const char *kSource = R"(
 enum { SITES = 512, MELEMS = 18 }; /* 3x3 complex = 18 doubles */
 
+/* Lattice config: update reads only .beta/.betaC; .uiTrace points at
+ * the device-side plaquette display buffer main alone touches. */
+typedef struct { double beta; double betaC; double* uiTrace; } LatCfg;
+
+LatCfg latCfg;
+double uiTraceBuf[512];
+
 double* links;  /* SITES x 18 */
 double* staple; /* SITES x 18 */
 int sweeps;
@@ -61,7 +68,8 @@ void update() {
             matmul(links + site * MELEMS, staple + next * MELEMS, tmp);
             for (int e = 0; e < MELEMS; e++) {
                 links[site * MELEMS + e] =
-                    links[site * MELEMS + e] * 0.95 + tmp[e] * 0.05;
+                    links[site * MELEMS + e] * latCfg.beta +
+                    tmp[e] * latCfg.betaC;
             }
         }
     }
@@ -70,6 +78,10 @@ void update() {
 
 int main() {
     scanf("%d", &sweeps);
+    latCfg.beta = 0.95;
+    latCfg.betaC = 0.05;
+    latCfg.uiTrace = &uiTraceBuf[0];
+    for (int i = 0; i < 512; i++) latCfg.uiTrace[i] = 0.0;
     links = (double*)malloc(sizeof(double) * SITES * MELEMS);
     staple = (double*)malloc(sizeof(double) * SITES * MELEMS);
     initialized = 0;
@@ -78,6 +90,7 @@ int main() {
     plaquette = 0.0;
     for (int i = 0; i < SITES; i++) plaquette += links[i * MELEMS];
     update();
+    latCfg.uiTrace[0] = plaquette; /* device-side result display */
     printf("plaquette %.5f\n", plaquette / (double)SITES);
     return ((int)(plaquette * 100.0)) % 43;
 }

@@ -1,17 +1,21 @@
 /**
  * @file
  * Analysis-layer tests: Andersen-style points-to (function-pointer
- * resolution, heap flow, unknown fallback, reachability), the taint
- * attribute lattice (witness chains, indirect-call classification),
- * the function filter's per-function loop verdicts, and the
- * post-partition offload-safety verifier (clean pipeline accepted,
- * every intentionally-broken module pair rejected with a witness).
+ * resolution, heap flow, unknown fallback, reachability), one-level
+ * field sensitivity (per-slot contents, sibling isolation, the
+ * subset-of-insensitive oracle), the taint attribute lattice (witness
+ * chains, indirect-call classification), the function filter's
+ * per-function loop verdicts, the post-partition offload-safety
+ * verifier (clean pipeline accepted, every intentionally-broken module
+ * pair rejected with a witness), and the verifier-driven repair loop
+ * (every broken pair driven to 0 diagnostics within the bound).
  */
 #include <gtest/gtest.h>
 
 #include "analysis/corpus.hpp"
 #include "analysis/partitionverifier.hpp"
 #include "analysis/pointsto.hpp"
+#include "analysis/repair.hpp"
 #include "analysis/taint.hpp"
 #include "compiler/driver.hpp"
 #include "compiler/functionfilter.hpp"
@@ -146,6 +150,109 @@ TEST(PointsTo, UnknownExternalForcesConservativeFallback)
     PointsToResult::Reachable reach =
         pts.reachableFrom({mod->functionByName("main")});
     EXPECT_FALSE(reach.precise);
+}
+
+// ---------------------------------------------------------------------
+// Field sensitivity
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Dispatch-table-in-a-struct program: the kernel calls only through
+ *  slot .hot, the UI loop only through slot .ui. */
+const char *kSlotDispatchSrc = R"(
+    typedef int (*FN)(int);
+    int asksUser(int x) { int v; scanf("%d", &v); return v + x; }
+    int clean(int x) { return x + 1; }
+    typedef struct { FN ui; FN hot; } Tbl;
+    Tbl tbl;
+    int kernel(int v) { FN f = tbl.hot; return f(v); }
+    int uiLoop(int v) { FN f = tbl.ui; return f(v); }
+    int main() {
+        tbl.ui = asksUser;
+        tbl.hot = clean;
+        return kernel(1) + uiLoop(2);
+    }
+)";
+
+} // namespace
+
+TEST(FieldSensitive, PerSlotContentsStaySeparate)
+{
+    auto mod = compile(kSlotDispatchSrc);
+    PointsToResult pts = analyzePointsTo(*mod);
+    ASSERT_TRUE(pts.fieldSensitive());
+
+    // Each site resolves only to the function stored in *its* slot.
+    PointsToResult::CalleeSet hot = pts.indirectCallees(
+        firstIndirectSite(mod->functionByName("kernel")));
+    EXPECT_TRUE(hot.complete);
+    EXPECT_EQ(names(hot.fns), (std::set<std::string>{"clean"}));
+    PointsToResult::CalleeSet ui = pts.indirectCallees(
+        firstIndirectSite(mod->functionByName("uiLoop")));
+    EXPECT_TRUE(ui.complete);
+    EXPECT_EQ(names(ui.fns), (std::set<std::string>{"asksUser"}));
+    EXPECT_GE(pts.stats().fieldSlots, 2u);
+
+    // The legacy solver collapses the struct: both sites see both.
+    PointsToResult flat = analyzePointsTo(*mod, {.fieldSensitive = false});
+    EXPECT_FALSE(flat.fieldSensitive());
+    EXPECT_EQ(names(flat.indirectCallees(
+                        firstIndirectSite(mod->functionByName("kernel")))
+                        .fns),
+              (std::set<std::string>{"asksUser", "clean"}));
+}
+
+TEST(FieldSensitive, MachineSpecificFieldDoesNotTaintSiblings)
+{
+    // A machine-specific value held in one struct field must not taint
+    // code that only touches a sibling field of the same object.
+    auto mod = compile(kSlotDispatchSrc);
+
+    PointsToResult pts = analyzePointsTo(*mod);
+    AttributeResult taint = machineSpecificTaint(*mod, pts, {});
+    EXPECT_FALSE(taint.has(mod->functionByName("kernel")));
+    ASSERT_TRUE(taint.has(mod->functionByName("uiLoop")));
+    const TaintWitness *w = taint.witness(mod->functionByName("uiLoop"));
+    ASSERT_NE(w, nullptr);
+    EXPECT_NE(w->str().find("asksUser"), std::string::npos);
+
+    // Field-insensitively the sibling IS tainted — the isolation above
+    // is precisely the field-sensitivity win.
+    PointsToResult flat = analyzePointsTo(*mod, {.fieldSensitive = false});
+    EXPECT_TRUE(machineSpecificTaint(*mod, flat, {})
+                    .has(mod->functionByName("kernel")));
+}
+
+TEST(FieldSensitive, ResultsAreSubsetOfInsensitiveOracle)
+{
+    // Differential oracle: after collapsing fields to their base
+    // object, every field-sensitive points-to set must be contained in
+    // the corresponding field-insensitive one, for every value.
+    auto mod = compile(kSlotDispatchSrc);
+    PointsToResult sens = analyzePointsTo(*mod);
+    PointsToResult flat = analyzePointsTo(*mod, {.fieldSensitive = false});
+
+    auto collapse = [](const PtsSet &set) {
+        std::set<MemObject> bases;
+        for (const MemObject &obj : set)
+            bases.insert(obj.base());
+        return bases;
+    };
+    for (const auto &fn : mod->functions()) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                std::set<MemObject> s = collapse(sens.pointsTo(inst.get()));
+                std::set<MemObject> f = collapse(flat.pointsTo(inst.get()));
+                for (const MemObject &obj : s) {
+                    EXPECT_TRUE(f.count(obj))
+                        << fn->name() << ": sensitive set of "
+                        << inst->name() << " contains " << obj.str()
+                        << " but the insensitive oracle does not";
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -339,4 +446,153 @@ TEST(PartitionVerifier, EveryBrokenCorpusCaseIsRejectedWithWitness)
             << outcome.rendered;
         EXPECT_TRUE(outcome.passed()) << outcome.rendered;
     }
+}
+
+TEST(PartitionVerifier, FieldGranularCaseEscapesInsensitiveCheck)
+{
+    // The cases flagged fieldSensitiveOnly only exist at field
+    // granularity: the field-insensitive verifier must accept them
+    // (that blindness is what the field-level check closes).
+    std::vector<CorpusCase> corpus = buildBrokenCorpus();
+    size_t field_only = 0;
+    for (const CorpusCase &c : corpus) {
+        if (!c.fieldSensitiveOnly)
+            continue;
+        ++field_only;
+        PartitionCheckInput in = c.input();
+        in.fieldSensitive = false;
+        support::DiagnosticEngine engine;
+        verifyPartition(in, engine);
+        EXPECT_FALSE(engine.hasErrors())
+            << c.name << ": insensitive verification was expected to "
+            << "miss this case\n"
+            << engine.render();
+    }
+    EXPECT_GE(field_only, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Verifier-driven repair
+// ---------------------------------------------------------------------
+
+TEST(Repair, EveryBrokenCorpusCaseConvergesWithinBound)
+{
+    std::vector<CorpusRepairOutcome> outcomes = runBrokenCorpusWithRepair();
+    ASSERT_GE(outcomes.size(), 10u);
+    for (const CorpusRepairOutcome &outcome : outcomes) {
+        EXPECT_TRUE(outcome.report.converged)
+            << outcome.name << ": " << outcome.report.iterations
+            << " iterations, remaining:\n"
+            << outcome.report.remaining.render();
+        EXPECT_LE(outcome.report.iterations, RepairOptions{}.maxIterations)
+            << outcome.name;
+        EXPECT_GE(outcome.report.totalActions(), 1u) << outcome.name;
+        EXPECT_EQ(outcome.report.remaining.size(), 0u) << outcome.name;
+    }
+}
+
+TEST(Repair, DisabledModeOnlyVerifies)
+{
+    std::vector<CorpusCase> corpus = buildBrokenCorpus();
+    ASSERT_FALSE(corpus.empty());
+    RepairOptions off;
+    off.enabled = false;
+    RepairReport report = repairPartition(corpus[0].repairInput(), off);
+    EXPECT_FALSE(report.converged);
+    EXPECT_EQ(report.iterations, 1u);
+    EXPECT_EQ(report.totalActions(), 0u);
+    EXPECT_GT(report.remaining.size(), 0u);
+}
+
+TEST(Repair, PerSlotFptrRepairAddsOnlyTheDispatchedSlot)
+{
+    // The precision dividend of per-slot callee sets: repairing the
+    // slot-1-dispatch case must add slot 1's callee and nothing else
+    // (an insensitive map repair would also drag in slot 0's @slow).
+    std::vector<CorpusCase> corpus = buildBrokenCorpus();
+    CorpusCase *slot_case = nullptr;
+    for (CorpusCase &c : corpus)
+        if (c.name == "fptr-slot-missing")
+            slot_case = &c;
+    ASSERT_NE(slot_case, nullptr);
+
+    RepairReport report = repairPartition(slot_case->repairInput());
+    EXPECT_TRUE(report.converged) << report.remaining.render();
+    EXPECT_EQ(report.fptrAdded, 1u);
+    EXPECT_EQ(slot_case->fptrMap, (std::set<std::string>{"fast"}));
+}
+
+TEST(Repair, FieldGranularRepairWidensOnlyTheMissingField)
+{
+    std::vector<CorpusCase> corpus = buildBrokenCorpus();
+    CorpusCase *field_case = nullptr;
+    for (CorpusCase &c : corpus)
+        if (c.name == "global-field-not-uva")
+            field_case = &c;
+    ASSERT_NE(field_case, nullptr);
+    EXPECT_TRUE(field_case->fieldSensitiveOnly);
+
+    RepairReport report = repairPartition(field_case->repairInput());
+    EXPECT_TRUE(report.converged) << report.remaining.render();
+    EXPECT_EQ(report.fieldsPromoted, 1u);
+    EXPECT_EQ(report.globalsPromoted, 0u);
+
+    // The mark now covers the witnessed field and the global stays
+    // field-limited (the repair widened, it did not give up precision).
+    const ir::GlobalVariable *cfg =
+        field_case->server->globalByName("cfg");
+    ASSERT_NE(cfg, nullptr);
+    EXPECT_TRUE(cfg->inUva());
+    EXPECT_TRUE(cfg->uvaFieldLimited());
+    EXPECT_EQ(cfg->uvaFields().count(1), 1u);
+}
+
+TEST(Repair, CascadeFromStructuralStripToTargetDemotion)
+{
+    // structural → strip the malformed body → target-missing → demote:
+    // the fixpoint must walk the cascade, not just the first round.
+    std::vector<CorpusCase> corpus = buildBrokenCorpus();
+    CorpusCase *structural = nullptr;
+    for (CorpusCase &c : corpus)
+        if (c.name == "structural-unterminated")
+            structural = &c;
+    ASSERT_NE(structural, nullptr);
+
+    RepairReport report = repairPartition(structural->repairInput());
+    EXPECT_TRUE(report.converged) << report.remaining.render();
+    EXPECT_GE(report.iterations, 3u);
+    EXPECT_EQ(report.bodiesStripped, 1u);
+    EXPECT_EQ(report.targetsDemoted, 1u);
+    EXPECT_TRUE(structural->targets.empty());
+}
+
+TEST(Repair, CleanCompiledProgramIsANoOp)
+{
+    auto mod = compile(R"(
+        int* data;
+        long heavy(int n) {
+            long acc = 0;
+            for (int i = 0; i < n * 4000; i++) acc += data[i % 16] * i;
+            return acc;
+        }
+        int main() {
+            int n;
+            scanf("%d", &n);
+            data = (int*)malloc(sizeof(int) * 16);
+            for (int i = 0; i < 16; i++) { data[i] = i; }
+            return (int)(heavy(n) % 97);
+        }
+    )");
+    compiler::CompileOptions options;
+    options.profilingInput.stdinText = "3";
+    compiler::CompiledProgram prog =
+        compiler::compileForOffload(std::move(mod), options);
+    ASSERT_FALSE(prog.partition.targets.empty());
+    size_t targets_before = prog.partition.targets.size();
+
+    RepairReport report = compiler::repairOffloadSafety(prog);
+    EXPECT_TRUE(report.converged) << report.remaining.render();
+    EXPECT_EQ(report.iterations, 1u);
+    EXPECT_EQ(report.totalActions(), 0u);
+    EXPECT_EQ(prog.partition.targets.size(), targets_before);
 }

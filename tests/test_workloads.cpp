@@ -16,13 +16,24 @@ using namespace nol::workloads;
 namespace {
 
 core::Program
-compileWorkload(const WorkloadSpec &spec)
+compileWorkload(const WorkloadSpec &spec, bool fieldSensitive = true)
 {
     core::CompileRequest req;
     req.name = spec.id;
     req.source = spec.source;
     req.profilingInput = spec.profilingInput;
+    req.fieldSensitiveAnalysis = fieldSensitive;
     return core::Program::compile(req);
+}
+
+std::set<std::string>
+uvaGlobalNames(const ir::Module &module)
+{
+    std::set<std::string> out;
+    for (const auto &gv : module.globals())
+        if (gv->inUva())
+            out.insert(gv->name());
+    return out;
 }
 
 runtime::RunInput
@@ -152,6 +163,92 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return name;
     });
+
+// ---------------------------------------------------------------------------
+// Field-sensitive analysis precision (differential vs the insensitive
+// oracle; see analysis/pointsto.hpp).
+// ---------------------------------------------------------------------------
+
+class FieldSensitivePrecision : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FieldSensitivePrecision, StrictlyShrinksUvaWithIdenticalOutputs)
+{
+    const WorkloadSpec *spec = workloadById(GetParam());
+    ASSERT_NE(spec, nullptr);
+    core::Program sens = compileWorkload(*spec, /*fieldSensitive=*/true);
+    core::Program flat = compileWorkload(*spec, /*fieldSensitive=*/false);
+
+    // Strict shrink of both the UVA global set and its page footprint.
+    const auto &stats = sens.compiled().unifyStats;
+    EXPECT_TRUE(stats.fieldSensitive);
+    EXPECT_LT(stats.uvaGlobals, stats.uvaGlobalsInsensitive) << spec->id;
+    EXPECT_LT(stats.uvaPages, stats.uvaPagesInsensitive) << spec->id;
+    EXPECT_GE(stats.uvaFieldLimitedGlobals, 1u) << spec->id;
+
+    // The device-side trace buffer is the page saved: only reachable
+    // through a config-struct field the kernel never touches.
+    const ir::Module &mobile_s = *sens.compiled().partition.mobileModule;
+    const ir::Module &mobile_f = *flat.compiled().partition.mobileModule;
+    const ir::GlobalVariable *buf_s = mobile_s.globalByName("uiTraceBuf");
+    const ir::GlobalVariable *buf_f = mobile_f.globalByName("uiTraceBuf");
+    ASSERT_NE(buf_s, nullptr);
+    ASSERT_NE(buf_f, nullptr);
+    EXPECT_FALSE(buf_s->inUva()) << spec->id;
+    EXPECT_TRUE(buf_f->inUva()) << spec->id;
+
+    // Same partition, bit-identical execution in both modes.
+    EXPECT_EQ(sens.targets(), flat.targets()) << spec->id;
+    runtime::RunInput input = evalInput(*spec);
+    runtime::RunReport a = sens.runLocal(input);
+    runtime::RunReport b = flat.runLocal(input);
+    EXPECT_EQ(a.console, b.console) << spec->id;
+    EXPECT_EQ(a.exitValue, b.exitValue) << spec->id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StructHeavy, FieldSensitivePrecision,
+    ::testing::Values("188.ammp", "300.twolf", "433.milc"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(FieldSensitiveSweep, UvaSubsetAndIdenticalOutputsOnAllWorkloads)
+{
+    // The differential-oracle contract over the whole suite: the
+    // field-sensitive UVA set is contained in the insensitive one,
+    // target selection is unchanged, and execution is bit-identical.
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        core::Program sens = compileWorkload(spec, true);
+        core::Program flat = compileWorkload(spec, false);
+
+        std::set<std::string> uva_s =
+            uvaGlobalNames(*sens.compiled().partition.mobileModule);
+        std::set<std::string> uva_f =
+            uvaGlobalNames(*flat.compiled().partition.mobileModule);
+        for (const std::string &name : uva_s)
+            EXPECT_TRUE(uva_f.count(name))
+                << spec.id << ": " << name
+                << " in the field-sensitive UVA set but not the "
+                << "insensitive oracle's";
+        EXPECT_EQ(sens.targets(), flat.targets()) << spec.id;
+
+        // Bit-identical run (profiling-sized input keeps this fast).
+        runtime::RunInput input;
+        input.stdinText = spec.profilingInput.stdinText;
+        input.files = spec.profilingInput.files;
+        runtime::RunReport a = sens.runLocal(input);
+        runtime::RunReport b = flat.runLocal(input);
+        EXPECT_EQ(a.console, b.console) << spec.id;
+        EXPECT_EQ(a.exitValue, b.exitValue) << spec.id;
+    }
+}
 
 // ---------------------------------------------------------------------------
 // The chess running example (Fig. 3 / Tables 1 and 3).

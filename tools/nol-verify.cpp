@@ -10,14 +10,24 @@
  *   nol-verify --corpus    self-test: every intentionally-broken module
  *                          pair must be rejected with the expected
  *                          diagnostic and a witness
+ *   nol-verify --corpus --repair
+ *                          repair self-test: the verify→repair fixpoint
+ *                          must drive every broken pair to 0
+ *                          diagnostics within the iteration cap
+ *   nol-verify --stats     JSON points-to / UVA precision report per
+ *                          workload (field-sensitive vs the insensitive
+ *                          oracle); fails if the sensitive UVA global
+ *                          set is not a subset of the insensitive one
  *   -v                     print warnings/notes too, plus shrink stats
  */
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "analysis/corpus.hpp"
+#include "analysis/pointsto.hpp"
 #include "core/nativeoffloader.hpp"
 #include "workloads/workloads.hpp"
 
@@ -82,6 +92,118 @@ runCorpusSelfTest(bool verbose)
     return failures == 0 ? 0 : 1;
 }
 
+int
+runCorpusRepairSelfTest(bool verbose)
+{
+    int failures = 0;
+    for (const nol::analysis::CorpusRepairOutcome &outcome :
+         nol::analysis::runBrokenCorpusWithRepair()) {
+        bool ok = outcome.passed();
+        std::printf("repair %-28s %-4s (%zu iterations, %zu actions, "
+                    "%zu remaining)\n",
+                    outcome.name.c_str(), ok ? "ok" : "FAIL",
+                    outcome.report.iterations,
+                    outcome.report.totalActions(),
+                    outcome.report.remaining.size());
+        if (!ok || verbose) {
+            for (const auto &action : outcome.report.actions)
+                std::fprintf(stderr, "  [%s] %s\n", action.code.c_str(),
+                             action.detail.c_str());
+            for (const Diagnostic &diag :
+                 outcome.report.remaining.diagnostics())
+                std::fprintf(stderr, "  unrepaired: %s\n",
+                             diag.str().c_str());
+        }
+        failures += ok ? 0 : 1;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+/** Names of the UVA-marked globals in @p module. */
+std::set<std::string>
+uvaGlobalNames(const nol::ir::Module &module)
+{
+    std::set<std::string> names;
+    for (const auto &gv : module.globals())
+        if (gv->inUva())
+            names.insert(gv->name());
+    return names;
+}
+
+void
+printPointsToStatsJson(const nol::analysis::PointsToStats &s)
+{
+    std::printf("{\"nodes\": %zu, \"objects\": %zu, "
+                "\"baseObjects\": %zu, \"fieldSlots\": %zu, "
+                "\"totalEdges\": %zu, \"maxSetSize\": %zu, "
+                "\"iterations\": %zu}",
+                s.nodes, s.objects, s.baseObjects, s.fieldSlots,
+                s.totalEdges, s.maxSetSize, s.iterations);
+}
+
+/**
+ * Compile @p spec twice (field-sensitive and the insensitive oracle),
+ * emit one JSON object of precision stats, and check the subset
+ * property the differential oracle guarantees: every UVA global the
+ * sensitive analysis marks must also be marked by the insensitive one.
+ * Returns 0 on success, 1 on a subset violation.
+ */
+int
+statsWorkload(const nol::workloads::WorkloadSpec &spec, bool last)
+{
+    CompileRequest req;
+    req.name = spec.id;
+    req.source = spec.source;
+    req.profilingInput = spec.profilingInput;
+    req.staticBandwidthMbps = 844.0 / spec.memScale;
+    Program sensitive = Program::compile(req);
+    req.fieldSensitiveAnalysis = false;
+    Program insensitive = Program::compile(req);
+
+    const auto &unify = sensitive.compiled().unifyStats;
+    const auto &partition = sensitive.compiled().partition;
+    std::set<std::string> uva_sensitive =
+        uvaGlobalNames(*partition.mobileModule);
+    std::set<std::string> uva_insensitive =
+        uvaGlobalNames(*insensitive.compiled().partition.mobileModule);
+    bool subset = true;
+    for (const std::string &name : uva_sensitive)
+        if (uva_insensitive.count(name) == 0)
+            subset = false;
+
+    nol::analysis::PointsToStats pts_sensitive =
+        nol::analysis::analyzePointsTo(*partition.serverModule,
+                                       {.fieldSensitive = true})
+            .stats();
+    nol::analysis::PointsToStats pts_insensitive =
+        nol::analysis::analyzePointsTo(*partition.serverModule,
+                                       {.fieldSensitive = false})
+            .stats();
+
+    std::printf("  {\"workload\": \"%s\",\n   \"pointsTo\": ",
+                spec.id.c_str());
+    printPointsToStatsJson(pts_sensitive);
+    std::printf(",\n   \"pointsToInsensitive\": ");
+    printPointsToStatsJson(pts_insensitive);
+    std::printf(",\n   \"uva\": {\"globals\": %zu, "
+                "\"globalsInsensitive\": %zu, \"pages\": %zu, "
+                "\"pagesInsensitive\": %zu, "
+                "\"fieldLimitedGlobals\": %zu, "
+                "\"subsetOfInsensitive\": %s},\n",
+                unify.uvaGlobals, unify.uvaGlobalsInsensitive,
+                unify.uvaPages, unify.uvaPagesInsensitive,
+                unify.uvaFieldLimitedGlobals, subset ? "true" : "false");
+    std::printf("   \"fptrMap\": %zu, \"fptrMapInsensitive\": %zu}%s\n",
+                partition.fptrMap.size(), partition.fptrMapInsensitive,
+                last ? "" : ",");
+    if (!subset)
+        std::fprintf(stderr,
+                     "%s: field-sensitive UVA set is NOT a subset of "
+                     "the insensitive oracle\n",
+                     spec.id.c_str());
+    return subset ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -89,16 +211,24 @@ main(int argc, char **argv)
 {
     bool verbose = false;
     bool corpus = false;
+    bool repair = false;
+    bool stats = false;
     std::vector<std::string> ids;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-v") == 0)
             verbose = true;
         else if (std::strcmp(argv[i], "--corpus") == 0)
             corpus = true;
+        else if (std::strcmp(argv[i], "--repair") == 0)
+            repair = true;
+        else if (std::strcmp(argv[i], "--stats") == 0)
+            stats = true;
         else
             ids.push_back(argv[i]);
     }
 
+    if (repair) // --repair implies the corpus: fix every broken pair
+        return runCorpusRepairSelfTest(verbose);
     if (corpus)
         return runCorpusSelfTest(verbose);
 
@@ -124,6 +254,20 @@ main(int argc, char **argv)
     }
 
     int failures = 0;
+    if (stats) {
+        std::printf("[\n");
+        for (size_t i = 0; i < specs.size(); ++i)
+            failures += statsWorkload(specs[i], i + 1 == specs.size());
+        std::printf("]\n");
+        if (failures != 0) {
+            std::fprintf(stderr,
+                         "nol-verify: %d of %zu workloads violated the "
+                         "subset property\n",
+                         failures, specs.size());
+            return 1;
+        }
+        return 0;
+    }
     for (const auto &spec : specs)
         failures += verifyWorkload(spec, verbose);
     if (failures != 0) {
